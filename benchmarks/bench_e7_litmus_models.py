@@ -1,0 +1,82 @@
+"""E7 -- litmus outcomes across axiomatic models and the hardware.
+
+The positioning table behind Sections 1-3: which interesting outcomes
+each model admits (SC / TSO-like / coherence-only / the Definition-2
+contract model), cross-validated against the operational enumerator and
+the simulated hardware.  Also times candidate-execution enumeration --
+the practical cost of axiomatic reasoning.
+"""
+
+from conftest import emit_table
+
+from repro.axiomatic import (
+    CoherenceModel,
+    SCModel,
+    TSOModel,
+    WeakOrderingDRF,
+    allowed_results,
+    enumerate_candidates,
+)
+from repro.axiomatic.events import UnsupportedProgram
+from repro.core.sc import sc_results
+from repro.litmus import all_tests
+
+MODELS = [
+    ("SC", SCModel()),
+    ("TSO", TSOModel()),
+    ("COHERENCE", CoherenceModel()),
+    ("WO-DRF0", WeakOrderingDRF()),
+]
+
+
+def litmus_model_table():
+    rows = []
+    for test in all_tests():
+        cells = []
+        supported = True
+        for _, model in MODELS:
+            try:
+                results = allowed_results(test.program, model)
+            except UnsupportedProgram:
+                cells.append("-")
+                supported = False
+                continue
+            cells.append("yes" if test.outcome_observed(results) else "no")
+        if supported:
+            # cross-validation: axiomatic SC == operational SC
+            assert allowed_results(test.program, SCModel()) == sc_results(
+                test.program
+            ), test.name
+        rows.append((test.name, "yes" if test.drf0 else "no", *cells))
+    return rows
+
+
+def test_e7_model_outcome_table(benchmark):
+    rows = benchmark.pedantic(litmus_model_table, rounds=1, iterations=1)
+    emit_table(
+        "E7",
+        "Interesting-outcome admission per axiomatic model",
+        ["test", "DRF0", *(name for name, _ in MODELS)],
+        rows,
+        notes=(
+            "WO-DRF0 is Definition 2 as a model: SC outcomes for DRF0\n"
+            "programs, coherent outcomes otherwise.  '-' = program outside\n"
+            "the straight-line axiomatic fragment."
+        ),
+    )
+    by_name = {r[0]: r for r in rows}
+    assert by_name["SB"][2:] == ("no", "yes", "yes", "yes")
+    assert by_name["TAS"][2:] == ("no", "no", "no", "no")
+    # the contract model tracks SC on every DRF0-conforming straight-line test
+    for row in rows:
+        if row[1] == "yes" and row[2] != "-":
+            assert row[5] == row[2], row
+
+
+def test_e7_candidate_enumeration_speed(benchmark):
+    """Throughput of candidate enumeration on the largest catalog test."""
+    from repro.litmus.catalog import iriw
+
+    program = iriw().program
+    count = benchmark(lambda: sum(1 for _ in enumerate_candidates(program)))
+    assert count > 0

@@ -1,0 +1,45 @@
+"""Shared helpers for the experiment benchmarks (E1..E8).
+
+Each benchmark regenerates one of the paper's tables/figures.  Tables are
+printed to stdout *and* written to ``benchmarks/results/<exp>.txt`` so the
+measured numbers survive pytest's output capture and feed EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_table(
+    experiment: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    notes: str = "",
+) -> str:
+    """Format, print, and persist one experiment table."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"== {experiment}: {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if notes:
+        lines.append(notes)
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+    return text
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Asynchronous algorithms: useful programs outside the contract.
+
+Section 3 of the paper concedes a limitation of Definition 2: "there are
+useful parallel programmer's models that are not easily expressed in terms
+of sequential consistency.  One such model is used by the designers of
+asynchronous algorithms ...  (We expect, however, it will be
+straightforward to implement weakly ordered hardware to obtain reasonable
+results for asynchronous algorithms.)"
+
+This example builds a tiny asynchronous (chaotic) relaxation: worker
+threads repeatedly average their cell with their neighbours' *possibly
+stale* values, with **no synchronization at all**.  The program is full of
+data races, so:
+
+* the DRF0 checker rejects it (as it should);
+* Definition 2 promises nothing about it on weakly ordered hardware;
+* and yet -- exactly as the paper expects -- the weakly ordered
+  implementation converges to the same fixed point, because the algorithm
+  tolerates staleness by construction.
+
+Run:  python examples/asynchronous_relaxation.py
+"""
+
+from repro.core.drf0 import check_program_sampled
+from repro.hw import AdveHillPolicy, SCPolicy
+from repro.machine.dsl import ThreadBuilder, build_program
+from repro.sim.system import SystemConfig, run_on_hardware
+
+
+def relaxation_program(rounds: int = 10):
+    """Three cells; each worker repeatedly sets its cell to the average of
+    its two neighbours (integer arithmetic, fixed endpoint cells).
+
+    With boundary cells pinned at 0 and 96, the interior converges toward
+    the linear interpolation regardless of the interleaving or staleness.
+    """
+    # cells: b0 (=0, fixed), c1, c2, c3, b4 (=96, fixed)
+    workers = []
+    for index, (left, mine, right) in enumerate(
+        [("b0", "c1", "c2"), ("c1", "c2", "c3"), ("c2", "c3", "b4")]
+    ):
+        t = ThreadBuilder()
+        for _ in range(rounds):
+            t.load("l", left)
+            t.load("r", right)
+            t.add("sum", "l", "r")
+            t.div("avg", "sum", 2)
+            t.store(mine, "avg")
+            t.delay(15)  # local work between sweeps lets values propagate
+        workers.append(t)
+    return build_program(
+        workers,
+        initial_memory={"b0": 0, "b4": 96, "c1": 0, "c2": 0, "c3": 0},
+        name=f"chaotic-relaxation-r{rounds}",
+    )
+
+
+def main() -> None:
+    program = relaxation_program(rounds=10)
+
+    verdict = check_program_sampled(program, seeds=range(20))
+    print(f"{program.name!r} obeys DRF0: {verdict.obeys}")
+    print(f"  (first race: {verdict.race})")
+
+    print("\nfinal interior cells across seeds (weakly ordered hardware):")
+    outcomes = set()
+    for seed in range(6):
+        run = run_on_hardware(program, AdveHillPolicy(), SystemConfig(seed=seed))
+        cells = tuple(
+            run.result.memory_value(c) for c in ("c1", "c2", "c3")
+        )
+        outcomes.add(cells)
+        print(f"  seed {seed}: c1={cells[0]:<6} c2={cells[1]:<6} c3={cells[2]:<6}")
+
+    sc_run = run_on_hardware(program, SCPolicy(), SystemConfig(seed=0))
+    sc_cells = tuple(sc_run.result.memory_value(c) for c in ("c1", "c2", "c3"))
+    print(f"  SC    0: c1={sc_cells[0]:<6} c2={sc_cells[1]:<6} c3={sc_cells[2]:<6}")
+
+    print(
+        "\nThe program races (DRF0 rejects it) and different schedules give\n"
+        "different intermediate values -- Definition 2 promises nothing here.\n"
+        "Yet every run makes monotone progress toward the fixed point: the\n"
+        "'reasonable results for asynchronous algorithms' the paper expects\n"
+        "from weakly ordered hardware, without any contract."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Litmus explorer: which outcomes does each memory model allow?
+
+For every litmus test in the catalog, prints:
+
+* whether the test's interesting outcome is allowed by the axiomatic
+  models (SC / TSO-like / coherence-only),
+* whether the program obeys DRF0,
+* whether the outcome was actually observed on the simulated hardware
+  (relaxed strawman vs the paper's weakly ordered implementation).
+
+This regenerates, in table form, the Figure-1 argument: relaxed hardware
+exhibits non-SC outcomes, but only on programs that break the
+synchronization model -- the weakly ordered implementation never shows a
+non-SC outcome to a DRF0 program.
+
+Run:  python examples/litmus_explorer.py          (about a minute)
+"""
+
+from repro.axiomatic import CoherenceModel, SCModel, TSOModel, allowed_results
+from repro.axiomatic.events import UnsupportedProgram
+from repro.hw import AdveHillPolicy, RelaxedPolicy
+from repro.litmus import all_tests, run_litmus_on_hardware
+from repro.sim.system import SystemConfig
+
+MODELS = [("SC", SCModel()), ("TSO", TSOModel()), ("COH", CoherenceModel())]
+
+
+def axiomatic_cell(test, model) -> str:
+    try:
+        results = allowed_results(test.program, model)
+    except UnsupportedProgram:
+        return "  - "
+    return "yes " if test.outcome_observed(results) else "no  "
+
+
+def main() -> None:
+    header = (
+        f"{'test':<14}{'DRF0':<7}" +
+        "".join(f"{name:<6}" for name, _ in MODELS) +
+        f"{'relaxed-hw':<12}{'adve-hill-hw':<13}"
+    )
+    print(header)
+    print("-" * len(header))
+    for test in all_tests():
+        cells = [axiomatic_cell(test, model) for _, model in MODELS]
+        relaxed = run_litmus_on_hardware(
+            test, RelaxedPolicy, SystemConfig(), seeds=range(25),
+            check_contract=False,
+        )
+        weak = run_litmus_on_hardware(
+            test, AdveHillPolicy, SystemConfig(), seeds=range(25),
+            check_contract=False,
+        )
+        print(
+            f"{test.name:<14}"
+            f"{'yes' if test.drf0 else 'no':<7}"
+            + "".join(f"{c:<6}" for c in cells)
+            + f"{'observed' if relaxed.outcome_observed else 'never':<12}"
+            + f"{'observed' if weak.outcome_observed else 'never':<13}"
+        )
+    print(
+        "\nReading the table: every test's interesting outcome is forbidden"
+        "\nunder SC.  The relaxed strawman exhibits it on racy tests; the"
+        "\npaper's implementation never exhibits it on DRF0 tests -- that is"
+        "\nDefinition 2 at work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The quantitative study the paper calls for, in miniature.
+
+Compares the three implementations (plus the DRF1-optimized variant)
+across the workload suite and prints mean cycles per workload.  The shape
+to look for, per the paper's analysis:
+
+* SC pays a globally-performed round trip per access: slowest;
+* Definition 1 overlaps data accesses between sync points but stalls the
+  issuing processor at every synchronization operation;
+* the Section-5.3 implementation lets the releasing processor run ahead
+  (Figure 3), so sync-heavy workloads gain the most;
+* the DRF1 read-only-sync optimization pays off exactly on spin-heavy
+  workloads (Test-and-TestAndSet under contention, Section 6).
+
+Run:  python examples/lock_performance.py          (about a minute)
+"""
+
+from repro.hw import AdveHillPolicy, Definition1Policy, SCPolicy
+from repro.sim.system import SystemConfig, run_on_hardware
+from repro.workloads import (
+    barrier_workload,
+    contended_release_workload,
+    lock_workload,
+    phase_parallel_workload,
+    producer_consumer_workload,
+)
+
+POLICIES = [
+    ("SC", SCPolicy),
+    ("Def1", Definition1Policy),
+    ("AdveHill", AdveHillPolicy),
+    ("AH+DRF1", lambda: AdveHillPolicy(drf1_optimized=True)),
+]
+
+WORKLOADS = [
+    lock_workload(4, 2),
+    lock_workload(4, 2, ttas=True),
+    contended_release_workload(num_spinners=3, hold_cycles=300),
+    producer_consumer_workload(batch_size=12, post_release_work=40),
+    barrier_workload(num_procs=4, phases=2),
+    phase_parallel_workload(num_procs=4, chunk=4, phases=2),
+]
+
+SEEDS = range(10)
+
+
+def mean_cycles(program, factory) -> float:
+    total = 0
+    for seed in SEEDS:
+        total += run_on_hardware(program, factory(), SystemConfig(seed=seed)).cycles
+    return total / len(SEEDS)
+
+
+def main() -> None:
+    names = [name for name, _ in POLICIES]
+    print(f"{'workload':<28}" + "".join(f"{n:>10}" for n in names) + f"{'AH/SC':>8}")
+    print("-" * (28 + 10 * len(names) + 8))
+    for program in WORKLOADS:
+        cells = [mean_cycles(program, factory) for _, factory in POLICIES]
+        speedup = cells[0] / cells[2]
+        print(
+            f"{program.name:<28}"
+            + "".join(f"{c:>10.0f}" for c in cells)
+            + f"{speedup:>8.2f}"
+        )
+    print(
+        "\nAH/SC is the speedup of the paper's implementation over the"
+        "\nsequentially consistent baseline (higher is better)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: the software/hardware contract in five minutes.
+
+Builds the paper's message-passing pattern, checks the software side of
+the contract (DRF0, Definition 3), runs the program on three simulated
+memory systems (sequentially consistent, Definition-1 weak ordering, and
+the paper's Section-5.3 implementation), and verifies the hardware side of
+the contract (every observed result appears sequentially consistent --
+Definition 2).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Condition, ThreadBuilder, build_program, is_sc_result, obeys_drf0
+from repro.core.sc import sc_results
+from repro.hw import AdveHillPolicy, Definition1Policy, SCPolicy
+from repro.sim.system import SystemConfig, run_on_hardware
+
+
+def main() -> None:
+    # -- 1. Write a parallel program in the register-machine DSL. -----------
+    # P0 produces a value and releases a flag with a write-only
+    # synchronization (Unset); P1 spins on the flag with read-only
+    # synchronization (Test) and then reads the data.
+    producer = ThreadBuilder().store("data", 42).unset("flag")
+    consumer = (
+        ThreadBuilder()
+        .label("spin")
+        .sync_load("seen", "flag")
+        .branch_if(Condition.NE, "seen", 0, "spin")
+        .load("value", "data")
+    )
+    program = build_program(
+        [producer, consumer], initial_memory={"flag": 1}, name="quickstart-mp"
+    )
+
+    # -- 2. Software side of the contract: does it obey DRF0? ---------------
+    print(f"program {program.name!r} obeys DRF0:", obeys_drf0(program))
+
+    # -- 3. The idealized architecture: enumerate SC results. ---------------
+    results = sc_results(program)
+    print(f"distinct sequentially consistent results: {len(results)}")
+    sample = sorted(results, key=str)[0]
+    print("  e.g.", sample)
+
+    # -- 4. Hardware side: run on three memory systems. ---------------------
+    policies = [
+        ("sequential consistency  ", SCPolicy),
+        ("weak ordering (Def. 1)  ", Definition1Policy),
+        ("weak ordering (Sec. 5.3)", AdveHillPolicy),
+    ]
+    print("\npolicy                       cycles   consumer-read   appears-SC")
+    for label, factory in policies:
+        run = run_on_hardware(program, factory(), SystemConfig(seed=7))
+        data_read = run.result.reads[1][-1]
+        verdict = is_sc_result(program, run.result)
+        print(f"{label}    {run.cycles:6d}   data={data_read:<6d}     {verdict}")
+    print(
+        "\nAll three implementations honour Definition 2: the program obeys"
+        "\nDRF0, so every result they produce is a sequentially consistent one."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Race detection: finding the race, reading the witness, fixing the code.
+
+Starts from a buggy double-checked flag hand-off (plain data accesses),
+uses the Definition-3 checker to produce a concrete racy idealized
+execution, prints the happens-before evidence, then fixes the program
+with synchronization operations and shows it now obeys DRF0.  Finally the
+Shasha-Snir delay-set analysis shows the static view of the same bug.
+
+Run:  python examples/race_detection.py
+"""
+
+from repro import Condition, ThreadBuilder, build_program
+from repro.analysis import analyze
+from repro.core.drf0 import check_program
+from repro.core.relations import happens_before
+
+
+def buggy_program():
+    """Flag hand-off with plain loads/stores: the MP race."""
+    producer = ThreadBuilder().store("payload", 99).store("ready", 1)
+    consumer = ThreadBuilder().load("r_ready", "ready").load("r_payload", "payload")
+    return build_program([producer, consumer], name="buggy-handoff")
+
+
+def fixed_program():
+    """Same hand-off through hardware-visible synchronization."""
+    producer = ThreadBuilder().store("payload", 99).unset("ready")
+    consumer = (
+        ThreadBuilder()
+        .label("spin")
+        .sync_load("r_ready", "ready")
+        .branch_if(Condition.NE, "r_ready", 0, "spin")
+        .load("r_payload", "payload")
+    )
+    return build_program(
+        [producer, consumer], initial_memory={"ready": 1}, name="fixed-handoff"
+    )
+
+
+def main() -> None:
+    buggy = buggy_program()
+    report = check_program(buggy)
+    print(f"{buggy.name!r} obeys DRF0: {report.obeys}")
+    assert report.race is not None and report.witness is not None
+    race = report.race
+    print(f"  race: {race.first}  vs  {race.second}")
+    print("  witnessing idealized execution (completion order):")
+    for op in report.witness.ops:
+        print(f"    {op}")
+    hb = happens_before(report.witness)
+    print(
+        "  happens-before orders the pair:",
+        hb.ordered_either_way(race.first, race.second),
+        "(a data race: conflicting and unordered)",
+    )
+
+    print("\nStatic view (Shasha-Snir delay sets):")
+    for line in analyze(buggy).describe():
+        print("   ", line)
+
+    fixed = fixed_program()
+    fixed_report = check_program(fixed)
+    print(f"\n{fixed.name!r} obeys DRF0: {fixed_report.obeys}")
+    print(
+        "The Unset/Test pair creates the synchronization-order edge that\n"
+        "happens-before needs; by Definition 2 any weakly ordered machine\n"
+        "now owes this program sequentially consistent behaviour."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Reproduction of *Weak Ordering -- A New Definition* (Adve & Hill, ISCA 1990).
+
+The library is organized around the paper's central move: re-defining weak
+ordering as a **contract** between software and hardware.
+
+* :mod:`repro.machine` -- the register-machine frontend every executor shares.
+* :mod:`repro.core` -- the formal side: the idealized sequentially consistent
+  architecture, happens-before, the DRF0/DRF1 synchronization models, and
+  the Definition-2 "appears sequentially consistent" checker.
+* :mod:`repro.axiomatic` -- herd-style candidate-execution enumeration with
+  axiomatic memory models (SC, TSO-like, coherence-only).
+* :mod:`repro.sim` -- a discrete-event, directory-based cache-coherent
+  multiprocessor simulator (the hardware side of the contract).
+* :mod:`repro.hw` -- memory-system policies: sequential consistency, the old
+  Definition 1 (Dubois/Scheurich/Briggs), and the paper's Section-5.3
+  implementation (counters + reserve bits), with the DRF1 read-only-sync
+  optimization.
+* :mod:`repro.litmus` -- the paper's figures and classic litmus tests.
+* :mod:`repro.workloads` -- synthetic workloads for the quantitative study.
+* :mod:`repro.analysis` -- Shasha-Snir delay-set analysis (related work).
+* :mod:`repro.verify` -- contract sweeps and Section-5.1 condition monitors.
+
+Quickstart::
+
+    from repro import build_program, ThreadBuilder, sc_results, obeys_drf0
+
+    p0 = ThreadBuilder().store("x", 1).unset("flag")
+    p1 = ThreadBuilder().sync_load("r0", "flag").load("r1", "x")
+    program = build_program([p0, p1], initial_memory={"flag": 1})
+    print(obeys_drf0(program))
+    print(sc_results(program))
+"""
+
+from repro.core import (
+    DRF0_MODEL,
+    DRF1_MODEL,
+    Condition,
+    ContractReport,
+    Execution,
+    ExplorationConfig,
+    OpKind,
+    Operation,
+    Race,
+    Result,
+    appears_sc,
+    check_program,
+    check_weak_ordering,
+    conflicts,
+    explore,
+    happens_before,
+    is_sc_result,
+    obeys_drf0,
+    races_in_execution,
+    sc_results,
+)
+from repro.machine import Program, ThreadBuilder, build_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Condition",
+    "ContractReport",
+    "DRF0_MODEL",
+    "DRF1_MODEL",
+    "Execution",
+    "ExplorationConfig",
+    "OpKind",
+    "Operation",
+    "Program",
+    "Race",
+    "Result",
+    "ThreadBuilder",
+    "appears_sc",
+    "build_program",
+    "check_program",
+    "check_weak_ordering",
+    "conflicts",
+    "explore",
+    "happens_before",
+    "is_sc_result",
+    "obeys_drf0",
+    "races_in_execution",
+    "sc_results",
+    "__version__",
+]

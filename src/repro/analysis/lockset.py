@@ -1,0 +1,164 @@
+"""Eraser-style lockset analysis over idealized executions.
+
+Section 4 of the paper notes that "current work is being done on
+determining when programs are data-race-free, and in locating the races
+when they are not".  Happens-before detection (:mod:`repro.core.drf0`) is
+one lineage of that work; the other classic approach is the *lockset*
+discipline (Savage et al.'s Eraser): every shared location should be
+consistently protected by some lock.
+
+Lock inference on this ISA:
+
+* an **acquire** is a read-write synchronization (TestAndSet) that returns
+  the free value (0) -- a successful lock grab;
+* a **release** is a write-only synchronization (Unset / sync store of 0)
+  to a held location.
+
+Each location runs Eraser's state machine (virgin -> exclusive ->
+shared / shared-modified); candidate locksets are intersected on every
+access in the shared states, and an empty lockset in shared-modified
+raises a warning.
+
+Lockset analysis is a *discipline* checker: it can warn on programs that
+are DRF0 (e.g. carefully flag-synchronized hand-offs that never use
+locks), and it can stay silent on racy single-execution traces that
+happen not to exercise the race.  The tests document both divergences;
+the value is that a lock-disciplined program gets a modular, per-location
+answer without enumerating executions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.core.execution import Execution
+from repro.core.ops import Operation
+from repro.core.types import Location, OpKind, ProcId
+
+
+class LocationState(enum.Enum):
+    """Eraser's per-location state machine."""
+
+    VIRGIN = "virgin"                  # never accessed
+    EXCLUSIVE = "exclusive"            # one thread only so far
+    SHARED = "shared"                  # read by several threads
+    SHARED_MODIFIED = "shared-modified"  # written while shared
+
+
+@dataclass
+class LocksetWarning:
+    """A location whose candidate lockset became empty while shared."""
+
+    location: Location
+    op: Operation
+    held: FrozenSet[Location]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.location}: unprotected access {self.op} "
+            f"(held locks: {sorted(self.held) or 'none'})"
+        )
+
+
+@dataclass
+class LocksetReport:
+    """Outcome of the lockset analysis on one execution."""
+
+    execution: Execution
+    warnings: List[LocksetWarning] = field(default_factory=list)
+    locksets: Dict[Location, FrozenSet[Location]] = field(default_factory=dict)
+    states: Dict[Location, LocationState] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when no location lost all its candidate locks."""
+        return not self.warnings
+
+    def warned_locations(self) -> Set[Location]:
+        """Locations with at least one warning."""
+        return {w.location for w in self.warnings}
+
+
+def analyze_execution(execution: Execution) -> LocksetReport:
+    """Run the lockset discipline over one idealized execution."""
+    held: Dict[ProcId, Set[Location]] = {}
+    candidates: Dict[Location, Set[Location]] = {}
+    states: Dict[Location, LocationState] = {}
+    first_thread: Dict[Location, ProcId] = {}
+    report = LocksetReport(execution)
+
+    all_locks: Set[Location] = {
+        op.location for op in execution.ops if op.kind is OpKind.SYNC_RMW
+    }
+
+    for op in execution.ops:
+        locks = held.setdefault(op.proc, set())
+        if op.kind is OpKind.SYNC_RMW and op.value_read == 0:
+            locks.add(op.location)
+            continue
+        if op.kind is OpKind.SYNC_WRITE and op.location in locks:
+            locks.discard(op.location)
+            continue
+        if op.is_sync:
+            continue  # other sync traffic is not a data access
+        _track_data_access(
+            op, locks, candidates, states, first_thread, all_locks, report
+        )
+
+    report.locksets = {
+        loc: frozenset(c) for loc, c in candidates.items()
+    }
+    report.states = dict(states)
+    return report
+
+
+def _track_data_access(
+    op: Operation,
+    locks: Set[Location],
+    candidates: Dict[Location, Set[Location]],
+    states: Dict[Location, LocationState],
+    first_thread: Dict[Location, ProcId],
+    all_locks: Set[Location],
+    report: LocksetReport,
+) -> None:
+    loc = op.location
+    state = states.get(loc, LocationState.VIRGIN)
+
+    if state is LocationState.VIRGIN:
+        states[loc] = LocationState.EXCLUSIVE
+        first_thread[loc] = op.proc
+        candidates[loc] = set(all_locks)
+        return
+    if state is LocationState.EXCLUSIVE:
+        if op.proc == first_thread[loc]:
+            return  # still exclusive: no discipline required yet
+        states[loc] = (
+            LocationState.SHARED_MODIFIED if op.has_write else LocationState.SHARED
+        )
+        candidates[loc] &= locks
+    else:
+        if op.has_write:
+            states[loc] = LocationState.SHARED_MODIFIED
+        candidates[loc] &= locks
+
+    if states[loc] is LocationState.SHARED_MODIFIED and not candidates[loc]:
+        report.warnings.append(
+            LocksetWarning(loc, op, frozenset(locks))
+        )
+
+
+def analyze_program(program, seeds=range(10)) -> LocksetReport:
+    """Lockset analysis over several random idealized executions.
+
+    Returns the first report with warnings, or the last clean one.
+    """
+    from repro.core.sc import random_sc_execution
+
+    report: Optional[LocksetReport] = None
+    for seed in seeds:
+        report = analyze_execution(random_sc_execution(program, seed))
+        if not report.clean:
+            return report
+    return report

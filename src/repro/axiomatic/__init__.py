@@ -1,0 +1,40 @@
+"""Axiomatic framework: candidate executions and acyclicity models."""
+
+from repro.axiomatic.candidates import Candidate, enumerate_candidates
+from repro.axiomatic.checker import (
+    allowed_candidates,
+    allowed_results,
+    outcome_table,
+)
+from repro.axiomatic.events import (
+    Event,
+    ReadRef,
+    UnsupportedProgram,
+    extract_events,
+)
+from repro.axiomatic.models import (
+    ALL_MODELS,
+    AxiomaticModel,
+    CoherenceModel,
+    SCModel,
+    TSOModel,
+    WeakOrderingDRF,
+)
+
+__all__ = [
+    "ALL_MODELS",
+    "AxiomaticModel",
+    "Candidate",
+    "CoherenceModel",
+    "Event",
+    "ReadRef",
+    "SCModel",
+    "TSOModel",
+    "UnsupportedProgram",
+    "WeakOrderingDRF",
+    "allowed_candidates",
+    "allowed_results",
+    "enumerate_candidates",
+    "extract_events",
+    "outcome_table",
+]

@@ -1,0 +1,175 @@
+"""Candidate-execution enumeration: reads-from and coherence choices.
+
+A *candidate execution* fixes, for every read event, the write event (or
+initializing write) it reads from (``rf``), and for every location a total
+order of its write events (``co``, with the initializing write first).
+Value resolution then propagates concrete values through ``rf`` and
+through same-thread data dependencies; candidates whose values never
+stabilize (out-of-thin-air value cycles) or whose read-modify-write events
+do not read their immediate ``co`` predecessor are discarded.
+
+The memory models in :mod:`repro.axiomatic.models` filter these candidates
+by acyclicity axioms over ``po ∪ rf ∪ co ∪ fr`` fragments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.axiomatic.events import Event, InitWrite, ReadRef, extract_events
+from repro.core.execution import Result
+from repro.core.types import Location, Value
+from repro.machine.program import Program
+
+#: rf maps a read event uid to the sourcing write event uid, or None for
+#: the location's initializing write.
+RfMap = Dict[int, Optional[int]]
+#: co maps a location to the uids of its writes in coherence order
+#: (the implicit initializing write precedes all of them).
+CoMap = Dict[Location, Tuple[int, ...]]
+
+
+@dataclass
+class Candidate:
+    """One candidate execution with resolved values."""
+
+    program: Program
+    events: List[Event]
+    rf: RfMap
+    co: CoMap
+    read_values: Dict[int, Value]
+    write_values: Dict[int, Value]
+
+    def value_of_read(self, event: Event) -> Value:
+        """Concrete value returned by a read event."""
+        return self.read_values[event.uid]
+
+    def fr_edges(self) -> List[Tuple[int, int]]:
+        """from-read edges: read -> writes co-after its source."""
+        edges: List[Tuple[int, int]] = []
+        for read_uid, write_uid in self.rf.items():
+            location = self._event(read_uid).location
+            order = self.co.get(location, ())
+            if write_uid is None:
+                later = order  # everything is after the init write
+            else:
+                index = order.index(write_uid)
+                later = order[index + 1 :]
+            for w in later:
+                if w != read_uid:  # an RMW does not fr to itself
+                    edges.append((read_uid, w))
+        return edges
+
+    def _event(self, uid: int) -> Event:
+        return self.events[uid]
+
+    def result(self) -> Result:
+        """The observable result of this candidate."""
+        reads: List[List[Value]] = [[] for _ in range(self.program.num_procs)]
+        for event in sorted(self.events, key=lambda e: (e.proc, e.po_index)):
+            if event.is_read:
+                reads[event.proc].append(self.read_values[event.uid])
+        final = {}
+        for location, initial in self.program.initial_memory.items():
+            order = self.co.get(location, ())
+            final[location] = (
+                self.write_values[order[-1]] if order else initial
+            )
+        return Result.build(reads, final)
+
+
+def enumerate_candidates(program: Program) -> Iterator[Candidate]:
+    """Yield every well-formed candidate execution of a litmus program."""
+    events = extract_events(program)
+    reads = [e for e in events if e.is_read]
+    writes_by_loc: Dict[Location, List[Event]] = {}
+    for e in events:
+        if e.is_write:
+            writes_by_loc.setdefault(e.location, []).append(e)
+
+    rf_choices: List[List[Optional[int]]] = []
+    for read in reads:
+        sources: List[Optional[int]] = [None]  # the initializing write
+        sources.extend(
+            w.uid for w in writes_by_loc.get(read.location, ())
+        )
+        rf_choices.append(sources)
+
+    locations = sorted(writes_by_loc)
+    co_choices = [
+        list(itertools.permutations([w.uid for w in writes_by_loc[loc]]))
+        for loc in locations
+    ]
+
+    for rf_pick in itertools.product(*rf_choices) if reads else [()]:
+        rf: RfMap = {read.uid: src for read, src in zip(reads, rf_pick)}
+        for co_pick in itertools.product(*co_choices) if locations else [()]:
+            co: CoMap = dict(zip(locations, co_pick))
+            candidate = _resolve(program, events, rf, co)
+            if candidate is not None:
+                yield candidate
+
+
+def _resolve(
+    program: Program,
+    events: List[Event],
+    rf: RfMap,
+    co: CoMap,
+) -> Optional[Candidate]:
+    """Propagate values; reject unstable or RMW-inconsistent candidates."""
+    # RMW atomicity at the candidate level: an RMW must read its immediate
+    # co-predecessor (or the init write if it is co-first).
+    for event in events:
+        if event.is_read and event.is_write:
+            order = co[event.location]
+            index = order.index(event.uid)
+            expected = None if index == 0 else order[index - 1]
+            if rf[event.uid] != expected:
+                return None
+
+    write_values: Dict[int, Value] = {}
+    unresolved: Dict[int, ReadRef] = {}
+    for event in events:
+        if not event.is_write:
+            continue
+        if isinstance(event.write_value, ReadRef):
+            unresolved[event.uid] = event.write_value
+        else:
+            write_values[event.uid] = event.write_value
+
+    read_values: Dict[int, Value] = {}
+
+    def source_value(read_uid: int) -> Optional[Value]:
+        src = rf[read_uid]
+        if src is None:
+            location = events[read_uid].location
+            return program.initial_memory[location]
+        return write_values.get(src)
+
+    pending = {e.uid for e in events if e.is_read}
+    progress = True
+    while pending and progress:
+        progress = False
+        for read_uid in list(pending):
+            value = source_value(read_uid)
+            if value is None:
+                continue
+            read_values[read_uid] = value
+            pending.discard(read_uid)
+            progress = True
+            for write_uid, ref in list(unresolved.items()):
+                if ref.event_uid == read_uid:
+                    write_values[write_uid] = value
+                    del unresolved[write_uid]
+    if pending or unresolved:
+        return None  # value cycle: out-of-thin-air candidate
+    return Candidate(
+        program=program,
+        events=events,
+        rf=rf,
+        co=co,
+        read_values=read_values,
+        write_values=write_values,
+    )

@@ -1,0 +1,53 @@
+"""Axiomatic outcome computation and cross-validation against enumeration.
+
+:func:`allowed_results` is the axiomatic counterpart of
+:func:`repro.core.sc.sc_results`: the set of results a model admits on a
+straight-line program.  For the SC model the two must agree exactly --
+that agreement is property-tested in the suite, tying the axiomatic and
+operational halves of the library together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List
+
+from repro.axiomatic.candidates import Candidate, enumerate_candidates
+from repro.axiomatic.models import AxiomaticModel
+from repro.core.execution import Result
+from repro.machine.program import Program
+
+
+def allowed_results(
+    program: Program, model: AxiomaticModel
+) -> FrozenSet[Result]:
+    """Every result the model admits on ``program``."""
+    results = set()
+    for candidate in enumerate_candidates(program):
+        if model.allows(candidate):
+            results.add(candidate.result())
+    return frozenset(results)
+
+
+def allowed_candidates(
+    program: Program, model: AxiomaticModel
+) -> List[Candidate]:
+    """The admitted candidates themselves (for inspection/tests)."""
+    return [c for c in enumerate_candidates(program) if model.allows(c)]
+
+
+def outcome_table(
+    programs: Iterable[Program], models: Iterable[AxiomaticModel]
+) -> List[Dict[str, object]]:
+    """Rows of {program, model, num_results} for reporting."""
+    rows: List[Dict[str, object]] = []
+    models = list(models)
+    for program in programs:
+        for model in models:
+            rows.append(
+                {
+                    "program": program.name,
+                    "model": model.name,
+                    "num_results": len(allowed_results(program, model)),
+                }
+            )
+    return rows

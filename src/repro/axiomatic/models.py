@@ -1,0 +1,189 @@
+"""Axiomatic memory models over candidate executions.
+
+Each model is an acyclicity predicate over fragments of
+``po ∪ rf ∪ co ∪ fr``:
+
+* :class:`SCModel` -- sequential consistency: ``acyclic(po ∪ rf ∪ co ∪ fr)``
+  (the standard equivalent of Lamport's definition for candidate
+  executions);
+* :class:`TSOModel` -- a TSO-like model: program order loses its
+  write-to-read edges (different locations), internal reads-from is
+  relaxed (store-to-load forwarding), and SC-per-location is kept.
+  Included as the classic "write buffer with bypassing" comparison point;
+* :class:`CoherenceModel` -- only per-location orderings (what a cache
+  coherence protocol alone guarantees; [Col90]'s write serialization).
+
+:class:`WeakOrderingDRF` wraps the contract view of the paper's
+Definition 2: for programs that obey DRF0 it admits exactly the SC
+candidates; for other programs it admits everything coherent (the paper
+lets non-conforming software observe anything the substrate can produce,
+"random values" included -- coherence is our substrate's floor).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.axiomatic.candidates import Candidate
+from repro.core.relations import Relation
+
+
+def _program_order_edges(candidate: Candidate) -> List[Tuple[int, int]]:
+    by_proc: dict = {}
+    for event in candidate.events:
+        by_proc.setdefault(event.proc, []).append(event)
+    edges = []
+    for events in by_proc.values():
+        events.sort(key=lambda e: e.po_index)
+        for a, b in zip(events, events[1:]):
+            edges.append((a.uid, b.uid))
+    return edges
+
+
+def _rf_edges(candidate: Candidate) -> List[Tuple[int, int]]:
+    return [
+        (src, read_uid)
+        for read_uid, src in candidate.rf.items()
+        if src is not None and src != read_uid
+    ]
+
+
+def _co_edges(candidate: Candidate) -> List[Tuple[int, int]]:
+    edges = []
+    for order in candidate.co.values():
+        for a, b in zip(order, order[1:]):
+            edges.append((a, b))
+    return edges
+
+
+def _acyclic(edge_groups: Iterable[List[Tuple[int, int]]]) -> bool:
+    relation = Relation()
+    for edges in edge_groups:
+        for a, b in edges:
+            relation.add(a, b)
+    return relation.is_acyclic()
+
+
+class AxiomaticModel:
+    """Base: a predicate over candidate executions."""
+
+    name = "abstract"
+
+    def allows(self, candidate: Candidate) -> bool:
+        """True when this model admits the candidate."""
+        raise NotImplementedError
+
+
+class SCModel(AxiomaticModel):
+    """Sequential consistency: acyclic(po ∪ rf ∪ co ∪ fr)."""
+
+    name = "SC"
+
+    def allows(self, candidate: Candidate) -> bool:
+        return _acyclic(
+            [
+                _program_order_edges(candidate),
+                _rf_edges(candidate),
+                _co_edges(candidate),
+                candidate.fr_edges(),
+            ]
+        )
+
+
+class CoherenceModel(AxiomaticModel):
+    """Per-location SC only: what write serialization alone guarantees."""
+
+    name = "COHERENCE"
+
+    def allows(self, candidate: Candidate) -> bool:
+        events = candidate.events
+        po_loc = [
+            (a, b)
+            for (a, b) in _program_order_edges(candidate)
+            if events[a].location == events[b].location
+        ]
+        return _acyclic(
+            [po_loc, _rf_edges(candidate), _co_edges(candidate), candidate.fr_edges()]
+        )
+
+
+class TSOModel(AxiomaticModel):
+    """TSO-like: write->read program order relaxed, store forwarding.
+
+    ``ppo`` drops write-to-read pairs; external reads-from, coherence and
+    from-read stay global; per-location SC is enforced separately.  A
+    faithful SPARC/x86-TSO model has further subtleties (this one is the
+    textbook approximation, which is exact on the catalog's tests).
+    """
+
+    name = "TSO"
+
+    def allows(self, candidate: Candidate) -> bool:
+        if not CoherenceModel().allows(candidate):
+            return False
+        events = candidate.events
+        ppo = [
+            (a, b)
+            for (a, b) in _program_order_edges_closure(candidate)
+            if not (events[a].is_write and not events[a].is_read
+                    and events[b].is_read and not events[b].is_write
+                    and events[a].location != events[b].location)
+        ]
+        rfe = [
+            (src, read_uid)
+            for (src, read_uid) in _rf_edges(candidate)
+            if events[src].proc != events[read_uid].proc
+        ]
+        return _acyclic([ppo, rfe, _co_edges(candidate), candidate.fr_edges()])
+
+
+def _program_order_edges_closure(candidate: Candidate) -> List[Tuple[int, int]]:
+    """All (earlier, later) same-thread pairs, not just adjacent ones.
+
+    TSO's ppo filter must look at every pair: with only adjacent edges, the
+    missing W->R edge would be recreated transitively through an
+    intermediate event.
+    """
+    by_proc: dict = {}
+    for event in candidate.events:
+        by_proc.setdefault(event.proc, []).append(event)
+    edges = []
+    for events in by_proc.values():
+        events.sort(key=lambda e: e.po_index)
+        for i, a in enumerate(events):
+            for b in events[i + 1 :]:
+                edges.append((a.uid, b.uid))
+    return edges
+
+
+class WeakOrderingDRF(AxiomaticModel):
+    """Definition 2 as an axiomatic contract.
+
+    For a DRF0 program the admitted candidates are exactly the SC ones;
+    otherwise anything the coherent substrate can produce is admitted.
+    The DRF0 premise is checked once per program with the operational
+    checker (:func:`repro.core.drf0.check_program`).
+    """
+
+    name = "WO-DRF0"
+
+    def __init__(self) -> None:
+        self._verdicts: dict = {}
+
+    def _program_is_drf0(self, candidate: Candidate) -> bool:
+        program = candidate.program
+        key = id(program)
+        if key not in self._verdicts:
+            from repro.core.drf0 import check_program
+
+            self._verdicts[key] = check_program(program).obeys
+        return self._verdicts[key]
+
+    def allows(self, candidate: Candidate) -> bool:
+        if self._program_is_drf0(candidate):
+            return SCModel().allows(candidate)
+        return CoherenceModel().allows(candidate)
+
+
+#: The models compared in the E7 litmus table.
+ALL_MODELS = [SCModel(), TSOModel(), CoherenceModel(), WeakOrderingDRF()]

@@ -1,0 +1,270 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``litmus [NAME ...]`` -- run catalog tests on simulated hardware and
+  report interesting-outcome observation + the Definition-2 verdict;
+* ``drf0 NAME`` -- exhaustive Definition-3 verdict for a catalog program,
+  with the witnessing execution when racy;
+* ``models [NAME ...]`` -- axiomatic admission table (SC / TSO /
+  coherence / WO-DRF0) for straight-line catalog tests;
+* ``simulate NAME`` -- one hardware run with timing details;
+* ``delays NAME`` -- Shasha-Snir delay pairs for a straight-line test;
+* ``catalog`` -- list available litmus tests and workloads.
+
+Workload names (``lock``, ``ttas``, ``prodcons``, ``barrier``, ``phases``)
+are accepted wherever a program is expected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.analysis import analyze
+from repro.axiomatic import (
+    CoherenceModel,
+    SCModel,
+    TSOModel,
+    UnsupportedProgram,
+    WeakOrderingDRF,
+    allowed_results,
+)
+from repro.core.contract import appears_sc
+from repro.core.drf0 import check_program, check_program_sampled
+from repro.hw import POLICY_FACTORIES
+from repro.litmus import all_tests, by_name
+from repro.machine.program import Program
+from repro.sim.system import SystemConfig, run_on_hardware
+from repro.workloads import (
+    barrier_workload,
+    lock_workload,
+    phase_parallel_workload,
+    producer_consumer_workload,
+    work_queue_workload,
+)
+
+WORKLOAD_FACTORIES = {
+    "lock": lambda: lock_workload(3, 1),
+    "ttas": lambda: lock_workload(3, 1, ttas=True),
+    "prodcons": lambda: producer_consumer_workload(batch_size=6),
+    "barrier": lambda: barrier_workload(num_procs=3, phases=1),
+    "phases": lambda: phase_parallel_workload(num_procs=3, chunk=2, phases=1),
+    "workqueue": lambda: work_queue_workload(num_consumers=2, num_items=4),
+}
+
+
+def _resolve_program(name: str) -> Program:
+    if name in WORKLOAD_FACTORIES:
+        return WORKLOAD_FACTORIES[name]()
+    try:
+        return by_name(name).program
+    except KeyError:
+        raise SystemExit(
+            f"unknown program {name!r}; see `python -m repro catalog`"
+        )
+
+
+def _config_from_args(args) -> SystemConfig:
+    return SystemConfig(
+        topology=args.topology,
+        caches=not args.no_caches,
+        seed=args.seed,
+        net_latency=args.net_latency,
+        cache_capacity=args.capacity,
+    )
+
+
+def cmd_catalog(args) -> int:
+    print("litmus tests:")
+    for test in all_tests():
+        flags = "DRF0" if test.drf0 else "racy"
+        print(f"  {test.name:<14} [{flags}]  {test.description}")
+    print("\nworkloads:", ", ".join(sorted(WORKLOAD_FACTORIES)))
+    return 0
+
+
+def cmd_litmus(args) -> int:
+    tests = [by_name(n) for n in args.names] if args.names else all_tests()
+    factory = POLICY_FACTORIES[args.policy]
+    config = _config_from_args(args)
+    failures = 0
+    print(f"{'test':<14}{'DRF0':<7}{'outcome':<12}{'appears-SC':<12}{'contract'}")
+    for test in tests:
+        results = {
+            run_on_hardware(test.program, factory(), config.with_seed(s)).result
+            for s in range(args.seeds)
+        }
+        observed = test.outcome_observed(results)
+        contract = appears_sc(test.program, results)
+        respected = contract.appears_sc or not test.drf0
+        if not respected:
+            failures += 1
+        print(
+            f"{test.name:<14}"
+            f"{'yes' if test.drf0 else 'no':<7}"
+            f"{'observed' if observed else 'never':<12}"
+            f"{'yes' if contract.appears_sc else 'no':<12}"
+            f"{'ok' if respected else 'VIOLATED'}"
+        )
+    return 1 if failures else 0
+
+
+def cmd_drf0(args) -> int:
+    program = _resolve_program(args.name)
+    if args.sampled:
+        report = check_program_sampled(program, seeds=range(args.seeds))
+        mode = f"sampled over {report.executions_checked} executions"
+    elif args.dpor:
+        from repro.core.dpor import check_program_dpor
+
+        report = check_program_dpor(program)
+        mode = f"DPOR over {report.executions_checked} representative executions"
+    else:
+        report = check_program(program)
+        mode = f"exhaustive over {report.executions_checked} executions"
+    print(f"{program.name}: {'obeys' if report.obeys else 'violates'} DRF0 ({mode})")
+    if report.race is not None:
+        print(f"  race: {report.race}")
+        if report.witness is not None and args.witness:
+            print("  witnessing idealized execution:")
+            for op in report.witness.ops:
+                print(f"    {op}")
+    return 0 if report.obeys else 1
+
+
+def cmd_models(args) -> int:
+    tests = [by_name(n) for n in args.names] if args.names else all_tests()
+    models = [
+        ("SC", SCModel()),
+        ("TSO", TSOModel()),
+        ("COH", CoherenceModel()),
+        ("WO-DRF0", WeakOrderingDRF()),
+    ]
+    print(f"{'test':<14}" + "".join(f"{name:<9}" for name, _ in models))
+    for test in tests:
+        cells = []
+        for _, model in models:
+            try:
+                results = allowed_results(test.program, model)
+                cells.append("yes" if test.outcome_observed(results) else "no")
+            except UnsupportedProgram:
+                cells.append("-")
+        print(f"{test.name:<14}" + "".join(f"{c:<9}" for c in cells))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    program = _resolve_program(args.name)
+    factory = POLICY_FACTORIES[args.policy]
+    run = run_on_hardware(program, factory(), _config_from_args(args))
+    from repro.report import access_table, summarize, timeline
+
+    print(summarize(run))
+    print(f"result    : {run.result}")
+    if args.trace:
+        print()
+        print(access_table(run))
+        print()
+        print(timeline(run))
+    verdict = appears_sc(program, [run.result])
+    print(f"appears SC: {verdict.appears_sc}")
+    return 0
+
+
+def cmd_delays(args) -> int:
+    program = _resolve_program(args.name)
+    try:
+        analysis = analyze(program)
+    except UnsupportedProgram as exc:
+        raise SystemExit(str(exc))
+    if analysis.needs_no_delays:
+        print(f"{program.name}: no delay pairs needed")
+        return 0
+    print(f"{program.name}: {len(analysis.delay_pairs)} delay pair(s)")
+    for line in analysis.describe():
+        print(f"  {line}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Weak Ordering -- A New Definition (ISCA 1990) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_hw_args(p):
+        p.add_argument("--policy", choices=sorted(POLICY_FACTORIES), default="adve-hill")
+        p.add_argument("--topology", choices=["bus", "network"], default="network")
+        p.add_argument("--no-caches", action="store_true")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--seeds", type=int, default=20)
+        p.add_argument("--net-latency", type=int, default=3)
+        p.add_argument("--capacity", type=int, default=None)
+
+    p = sub.add_parser("catalog", help="list litmus tests and workloads")
+    p.set_defaults(func=cmd_catalog)
+
+    p = sub.add_parser("litmus", help="run litmus tests on simulated hardware")
+    p.add_argument("names", nargs="*")
+    add_hw_args(p)
+    p.set_defaults(func=cmd_litmus)
+
+    p = sub.add_parser("drf0", help="Definition-3 verdict for a program")
+    p.add_argument("name")
+    p.add_argument("--sampled", action="store_true")
+    p.add_argument("--dpor", action="store_true",
+                   help="partial-order reduction (bounded programs)")
+    p.add_argument("--seeds", type=int, default=50)
+    p.add_argument("--witness", action="store_true")
+    p.set_defaults(func=cmd_drf0)
+
+    p = sub.add_parser("models", help="axiomatic admission table")
+    p.add_argument("names", nargs="*")
+    p.set_defaults(func=cmd_models)
+
+    p = sub.add_parser("simulate", help="one hardware run with timing details")
+    p.add_argument("name")
+    p.add_argument("--trace", action="store_true",
+                   help="print the access table and ASCII timeline")
+    add_hw_args(p)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("delays", help="Shasha-Snir delay pairs")
+    p.add_argument("name")
+    p.set_defaults(func=cmd_delays)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="random programs vs all oracles (enumerators + SC hardware)",
+    )
+    p.add_argument("--programs", type=int, default=20)
+    p.add_argument("--start-seed", type=int, default=0)
+    p.set_defaults(func=cmd_fuzz)
+
+    return parser
+
+
+def cmd_fuzz(args) -> int:
+    from repro.verify.fuzz import fuzz
+
+    report = fuzz(range(args.start_seed, args.start_seed + args.programs))
+    print(
+        f"fuzz: {report.programs_run} programs, "
+        f"{report.hardware_runs} hardware runs, "
+        f"{len(report.failures)} failures"
+    )
+    for failure in report.failures[:10]:
+        print(f"  {failure}")
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""The Definition-2 contract: "appears sequentially consistent".
+
+Definition 2 of the paper: *hardware is weakly ordered with respect to a
+synchronization model if and only if it appears sequentially consistent to
+all software that obey the synchronization model.*
+
+The operational question is therefore: given a result observed on some
+hardware (here: the discrete-event simulator), is it the result of *some*
+execution of the idealized architecture?  For loop-free programs one can
+enumerate the full SC result set, but programs with synchronization spin
+loops have unboundedly many SC results (every spin count is a distinct
+read history).  This module instead implements a *guided membership
+search*: an interleaving search in which a processor may complete a read
+only if the value it would return matches the next value in that
+processor's observed read history.
+
+The guided search always terminates: a thread's control path is a
+deterministic function of the values its reads return, and the observed
+history bounds the number of reads, so each thread can execute only a fixed
+finite instruction sequence.  Configurations are deduplicated on
+(thread states, memory, read positions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.execution import Result
+from repro.core.sc import _Thread, _advance, _initial_threads, execute_atomically
+from repro.core.types import Location, Value
+from repro.machine.interpreter import complete
+from repro.machine.program import Program
+
+
+class ContractSearchLimit(RuntimeError):
+    """Raised when the guided membership search exceeds its state budget."""
+
+
+def is_sc_result(program: Program, result: Result, max_states: int = 2_000_000) -> bool:
+    """True iff ``result`` is the result of some idealized execution.
+
+    This is the membership test behind "appears sequentially consistent":
+    an interleaving search guided by the observed per-processor read
+    histories.  Read operations may only complete with the observed value;
+    the search succeeds when all threads halt having consumed their entire
+    read history and the final memory matches.
+    """
+    if len(result.reads) != program.num_procs:
+        return False
+    expected_reads = [list(values) for values in result.reads]
+    expected_memory = dict(result.final_memory)
+    if set(expected_memory) != set(program.initial_memory):
+        return False
+
+    visited: Set[object] = set()
+    states = 0
+
+    def key(threads: Sequence[_Thread], memory: Dict[Location, Value], pos: Sequence[int]):
+        return (
+            tuple(t.state.key() for t in threads),
+            tuple(sorted(memory.items())),
+            tuple(pos),
+        )
+
+    def dfs(threads: List[_Thread], memory: Dict[Location, Value], pos: List[int]) -> bool:
+        nonlocal states
+        runnable = [i for i, t in enumerate(threads) if t.pending is not None]
+        if not runnable:
+            if any(p != len(expected_reads[i]) for i, p in enumerate(pos)):
+                return False
+            return dict(memory) == expected_memory
+        k = key(threads, memory, pos)
+        if k in visited:
+            return False
+        visited.add(k)
+        states += 1
+        if states > max_states:
+            raise ContractSearchLimit(
+                f"guided SC search exceeded {max_states} configurations"
+            )
+        for proc in runnable:
+            request = threads[proc].pending
+            assert request is not None
+            if request.kind.has_read:
+                if pos[proc] >= len(expected_reads[proc]):
+                    continue  # observed history exhausted; branch impossible
+                if memory[request.location] != expected_reads[proc][pos[proc]]:
+                    continue  # would read a value the hardware never returned
+            new_threads = [t.copy() for t in threads]
+            new_memory = dict(memory)
+            new_pos = list(pos)
+            thread = new_threads[proc]
+            value_read, _ = execute_atomically(new_memory, request)
+            if value_read is not None:
+                new_pos[proc] += 1
+            complete(program.threads[proc], thread.state, request, value_read)
+            _advance(program, proc, thread)
+            if dfs(new_threads, new_memory, new_pos):
+                return True
+        return False
+
+    threads = _initial_threads(program)
+    memory = dict(program.initial_memory)
+    return dfs(threads, memory, [0] * program.num_procs)
+
+
+@dataclass
+class ContractReport:
+    """Verdict of an appears-sequentially-consistent check.
+
+    Attributes:
+        program: The program checked.
+        appears_sc: True when every observed result is an SC result.
+        results_checked: How many distinct observed results were tested.
+        violations: Observed results with no idealized execution.
+    """
+
+    program: Program
+    appears_sc: bool
+    results_checked: int
+    violations: List[Result] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.appears_sc
+
+
+def appears_sc(
+    program: Program,
+    observed_results: Iterable[Result],
+    max_states: int = 2_000_000,
+) -> ContractReport:
+    """Check a batch of observed hardware results against the SC oracle."""
+    violations: List[Result] = []
+    seen: Set[Result] = set()
+    for result in observed_results:
+        if result in seen:
+            continue
+        seen.add(result)
+        if not is_sc_result(program, result, max_states=max_states):
+            violations.append(result)
+    return ContractReport(
+        program=program,
+        appears_sc=not violations,
+        results_checked=len(seen),
+        violations=violations,
+    )
+
+
+@dataclass
+class WeakOrderingVerdict:
+    """Definition-2 verdict for one (program, hardware) pair.
+
+    Definition 2 only obliges the hardware when the program obeys the
+    synchronization model; ``program_obeys_model`` records that premise so a
+    racy program's non-SC results are reported as *permitted*, not as a
+    contract violation.
+    """
+
+    program: Program
+    program_obeys_model: bool
+    contract: ContractReport
+
+    @property
+    def hardware_ok(self) -> bool:
+        """True unless a model-obeying program observed a non-SC result."""
+        if not self.program_obeys_model:
+            return True
+        return self.contract.appears_sc
+
+
+def check_weak_ordering(
+    program: Program,
+    program_obeys_model: bool,
+    observed_results: Iterable[Result],
+    max_states: int = 2_000_000,
+) -> WeakOrderingVerdict:
+    """Assemble the Definition-2 verdict from its two proof obligations."""
+    report = appears_sc(program, observed_results, max_states=max_states)
+    return WeakOrderingVerdict(
+        program=program,
+        program_obeys_model=program_obeys_model,
+        contract=report,
+    )

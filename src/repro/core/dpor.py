@@ -1,0 +1,226 @@
+"""Dynamic partial-order reduction (DPOR) for the idealized architecture.
+
+The naive Definition-3 checker enumerates *every* interleaving, which is
+factorial in the operation count.  Two interleavings that differ only in
+the order of independent (non-conflicting, different-thread) operations
+have the same happens-before relation -- hence the same races -- and the
+same result.  DPOR (Flanagan & Godefroid, POPL 2005) explores at least one
+interleaving per such equivalence class (Mazurkiewicz trace) by adding
+backtracking points only where dependent operations could be reordered.
+
+Two operations are **dependent** here iff they are by the same processor,
+or access the same location with at least one write component (which for
+this ISA is exactly the conflict relation plus program order).
+
+Scope: programs whose executions are bounded (no unbounded spin loops) --
+the algorithm's completeness argument assumes a finite, acyclic state
+space.  `max_ops` guards against spinning; the naive explorer with
+livelock-cycle pruning (`repro.core.drf0.check_program`) remains the tool
+for spin programs.
+
+The module provides:
+
+* :func:`explore_dpor` -- representative executions (one or more per
+  trace);
+* :func:`check_program_dpor` -- the DRF0/DRF1 verdict over them (sound and
+  complete for bounded programs, since races are trace-invariants);
+* :func:`sc_results_dpor` -- the SC result set (also a trace-invariant).
+
+Equivalence with the naive enumerators is property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.drf0 import DRF0Report, races_in_execution_vc
+from repro.core.execution import Execution, Result, final_memory_from_dict
+from repro.core.models import DRF0_MODEL, SynchronizationModel
+from repro.core.ops import Operation
+from repro.core.sc import (
+    ExplorationConfig,
+    ExplorationIncomplete,
+    _Thread,
+    _advance,
+    _initial_threads,
+    execute_atomically,
+)
+from repro.machine.interpreter import complete
+from repro.machine.program import Program
+
+
+@dataclass
+class _StackEntry:
+    """One executed transition plus the exploration bookkeeping at its
+    pre-state."""
+
+    proc: int
+    op: Operation
+    threads: List[_Thread]            # pre-state snapshot
+    memory: Dict[str, int]            # pre-state snapshot
+    enabled: Set[int]
+    backtrack: Set[int]
+    done: Set[int] = field(default_factory=set)
+
+
+def _dependent(a: Operation, b: Operation) -> bool:
+    if a.proc == b.proc:
+        return True
+    if a.location != b.location:
+        return False
+    return a.has_write or b.has_write
+
+
+def _dependent_with_pending(op: Operation, proc: int, request) -> bool:
+    """Dependency between an executed op and a *pending* request of ``proc``.
+
+    Dependency is decidable from (processor, location, write-ness) alone,
+    so the pending transition need not be executed to test it.
+    """
+    if op.proc == proc:
+        return True
+    if op.location != request.location:
+        return False
+    return op.has_write or request.kind.has_write
+
+
+def explore_dpor(
+    program: Program, config: Optional[ExplorationConfig] = None
+) -> List[Execution]:
+    """Representative executions covering every Mazurkiewicz trace."""
+    cfg = config or ExplorationConfig()
+    executions: List[Execution] = []
+    stack: List[_StackEntry] = []
+
+    def snapshot(threads, memory):
+        return [t.copy() for t in threads], dict(memory)
+
+    def enabled_procs(threads) -> Set[int]:
+        return {i for i, t in enumerate(threads) if t.pending is not None}
+
+    def run_one(threads, memory, proc, po_counts) -> Operation:
+        thread = threads[proc]
+        request = thread.pending
+        value_read, value_written = execute_atomically(memory, request)
+        op = Operation(
+            uid=len(stack),
+            proc=proc,
+            po_index=po_counts[proc],
+            kind=request.kind,
+            location=request.location,
+            value_read=value_read,
+            value_written=value_written,
+        )
+        po_counts[proc] += 1
+        complete(program.threads[proc], thread.state, request, value_read)
+        _advance(program, proc, thread)
+        return op
+
+    def add_backtrack_points(threads, enabled: Set[int]) -> None:
+        """Flanagan-Godefroid: for every transition enabled here, find the
+        most recent dependent transition in the current sequence and make
+        its pre-state explore this processor too (or, if it was not enabled
+        there, everything that was)."""
+        for proc in enabled:
+            request = threads[proc].pending
+            for entry in reversed(stack):
+                if entry.proc != proc and _dependent_with_pending(
+                    entry.op, proc, request
+                ):
+                    if proc in entry.enabled:
+                        entry.backtrack.add(proc)
+                    else:
+                        entry.backtrack |= entry.enabled
+                    break
+
+    def explore(threads, memory, po_counts) -> None:
+        enabled = enabled_procs(threads)
+        if not enabled:
+            ops = tuple(e.op for e in stack)
+            executions.append(
+                Execution(program, ops, final_memory_from_dict(memory))
+            )
+            return
+        if len(stack) >= cfg.max_ops:
+            if cfg.allow_incomplete:
+                return
+            raise ExplorationIncomplete(
+                f"DPOR execution exceeded {cfg.max_ops} operations; use the "
+                "naive explorer for programs with spin loops"
+            )
+        add_backtrack_points(threads, enabled)
+        entry = _StackEntry(
+            proc=-1,
+            op=None,  # filled per branch
+            threads=None,
+            memory=None,
+            enabled=enabled,
+            backtrack={min(enabled)},
+        )
+        stack.append(entry)
+        pre_threads, pre_memory = snapshot(threads, memory)
+        pre_po = list(po_counts)
+        while True:
+            choice = next(
+                (p for p in sorted(entry.backtrack) if p not in entry.done), None
+            )
+            if choice is None:
+                break
+            entry.done.add(choice)
+            branch_threads, branch_memory = snapshot(pre_threads, pre_memory)
+            branch_po = list(pre_po)
+            op = run_one(branch_threads, branch_memory, choice, branch_po)
+            entry.proc = choice
+            entry.op = op
+            entry.threads = pre_threads
+            entry.memory = pre_memory
+            explore(branch_threads, branch_memory, branch_po)
+        stack.pop()
+
+    threads = _initial_threads(program)
+    memory = dict(program.initial_memory)
+    explore(threads, memory, [0] * program.num_procs)
+    return executions
+
+
+def check_program_dpor(
+    program: Program,
+    model: SynchronizationModel = DRF0_MODEL,
+    config: Optional[ExplorationConfig] = None,
+) -> DRF0Report:
+    """Definition-3 verdict via DPOR (bounded programs).
+
+    Sound and complete: a race is a property of the Mazurkiewicz trace
+    (conflicting + hb-unordered is invariant under commuting independent
+    operations), and DPOR covers every trace.
+    """
+    checked = 0
+    for execution in explore_dpor(program, config):
+        checked += 1
+        races = races_in_execution_vc(execution, model)
+        if races:
+            return DRF0Report(
+                program=program,
+                model_name=model.name,
+                obeys=False,
+                executions_checked=checked,
+                race=races[0],
+                witness=execution,
+            )
+    return DRF0Report(
+        program=program, model_name=model.name, obeys=True,
+        executions_checked=checked,
+    )
+
+
+def sc_results_dpor(
+    program: Program, config: Optional[ExplorationConfig] = None
+) -> FrozenSet[Result]:
+    """The SC result set via DPOR (bounded programs).
+
+    A result is determined by the trace: every read's value is fixed by
+    the nearest dependent (same-location write) predecessors, which
+    commuting independent operations cannot change.
+    """
+    return frozenset(e.result() for e in explore_dpor(program, config))

@@ -1,0 +1,368 @@
+"""DRF0: data-race detection and the Definition-3 program verdict.
+
+A program obeys DRF0 (paper, Definition 3) iff for *any* execution on the
+idealized architecture, all conflicting accesses are ordered by the
+happens-before relation corresponding to that execution.  This module
+provides:
+
+* :func:`races_in_execution` -- ground-truth race detection on one execution
+  via the explicit transitive closure of ``po ∪ so``;
+* :func:`races_in_execution_vc` -- an equivalent vector-clock detector
+  (in the style the paper cites from Netzer & Miller) that scales to long
+  traces; the two are property-tested against each other;
+* :func:`check_program` -- the exhaustive Definition-3 verdict, enumerating
+  every idealized interleaving (with livelock-cycle pruning so spin loops
+  terminate) and race-checking each;
+* :func:`check_program_sampled` -- a dynamic-detection fallback for programs
+  too large to enumerate: monitors random SC executions.
+
+Both detectors are parameterized by a synchronization model, so the same
+code answers "does this program obey DRF0?" and "does it obey the DRF1
+refinement?".
+
+A note on the paper's augmented executions: Definition 3 augments each
+execution with hypothetical initializing writes (ordered before everything
+via synchronization) and final reads (ordered after everything).  Those
+hypothetical operations are hb-ordered with respect to every real access by
+construction, so they can never participate in a race; the detectors
+therefore operate on the un-augmented trace without loss.  (The
+augmentation matters for *result equivalence*, which
+:mod:`repro.core.contract` handles by comparing final memory.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.execution import Execution
+from repro.core.models import DRF0_MODEL, SynchronizationModel
+from repro.core.ops import Operation, conflicts
+from repro.core.relations import happens_before
+from repro.core.sc import (
+    ExplorationConfig,
+    ExplorationIncomplete,
+    random_sc_execution,
+)
+from repro.core import sc as sc_module
+from repro.machine.interpreter import MemRequest, ThreadState, complete, run_to_memory_op
+from repro.machine.program import Program
+
+
+@dataclass(frozen=True)
+class Race:
+    """An unordered pair of conflicting accesses.
+
+    ``first`` is the operation that completed earlier in the witnessing
+    execution.
+    """
+
+    first: Operation
+    second: Operation
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"race between {self.first} and {self.second}"
+
+
+# ---------------------------------------------------------------------------
+# Per-execution detection: explicit transitive closure (ground truth)
+# ---------------------------------------------------------------------------
+
+
+def races_in_execution(
+    execution: Execution, model: SynchronizationModel = DRF0_MODEL
+) -> List[Race]:
+    """All races in one idealized execution, via explicit happens-before.
+
+    Quadratic in trace length; intended for litmus-sized traces and as the
+    oracle the vector-clock detector is tested against.
+    """
+    hb = happens_before(execution, model)
+    races: List[Race] = []
+    ops = execution.ops
+    for i, a in enumerate(ops):
+        for b in ops[i + 1 :]:
+            if not model.race_relevant(a, b):
+                continue
+            if not hb.ordered_either_way(a, b):
+                races.append(Race(a, b))
+    return races
+
+
+# ---------------------------------------------------------------------------
+# Per-execution detection: vector clocks (fast path)
+# ---------------------------------------------------------------------------
+
+
+class _VectorClock:
+    """Fixed-width integer vector clock."""
+
+    __slots__ = ("times",)
+
+    def __init__(self, width: int) -> None:
+        self.times = [0] * width
+
+    def copy(self) -> "_VectorClock":
+        vc = _VectorClock(len(self.times))
+        vc.times = list(self.times)
+        return vc
+
+    def join(self, other: "_VectorClock") -> None:
+        self.times = [max(a, b) for a, b in zip(self.times, other.times)]
+
+
+@dataclass
+class _LocationHistory:
+    """Per-location last-access bookkeeping for the vector-clock detector.
+
+    For each processor we keep the timestamp and identity of its latest read
+    and latest write of the location, split by data/sync class so model
+    exemptions (DRF1's sync-sync exemption) can be applied.  Per-processor
+    maxima suffice: processor-local times are monotone, so if the latest
+    access is happens-before-ordered every earlier one is too.
+    """
+
+    width: int
+    last_write_time: List[int] = field(default_factory=list)
+    last_write_op: List[Optional[Operation]] = field(default_factory=list)
+    last_read_time: List[int] = field(default_factory=list)
+    last_read_op: List[Optional[Operation]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.last_write_time = [0] * self.width
+        self.last_write_op = [None] * self.width
+        self.last_read_time = [0] * self.width
+        self.last_read_op = [None] * self.width
+
+
+def races_in_execution_vc(
+    execution: Execution, model: SynchronizationModel = DRF0_MODEL
+) -> List[Race]:
+    """Vector-clock race detection.
+
+    Processes the trace in completion order, maintaining one clock per
+    processor and one per synchronization location.  An acquire joins the
+    location clock into the processor clock; a release joins the processor
+    clock into the location clock -- with acquire/release membership decided
+    by the synchronization model (under DRF0 every sync op is both).
+
+    Completeness contract relative to :func:`races_in_execution`: every
+    reported pair is a genuine race (soundness), and a race is reported for
+    every (location, processor pair) that has one -- but because only
+    per-processor *latest* accesses are remembered, an earlier access of the
+    same processor racing the same opposite access is subsumed by the later
+    one rather than reported separately.  In particular the two detectors
+    always agree on whether an execution is race-free.
+    """
+    width = execution.program.num_procs
+    proc_clock = [_VectorClock(width) for _ in range(width)]
+    for proc, clock in enumerate(proc_clock):
+        clock.times[proc] = 1
+    loc_clock: Dict[str, _VectorClock] = {}
+    history: Dict[str, _LocationHistory] = {}
+    races: List[Race] = []
+
+    for op in execution.ops:
+        clock = proc_clock[op.proc]
+        if op.is_sync:
+            lc = loc_clock.setdefault(op.location, _VectorClock(width))
+            if model.is_acquire(op):
+                clock.join(lc)
+        hist = history.setdefault(op.location, _LocationHistory(width))
+        _check_op(op, clock, hist, model, races)
+        _record_op(op, clock, hist)
+        if op.is_sync and model.is_release(op):
+            loc_clock[op.location].join(clock)
+        clock.times[op.proc] += 1
+    return races
+
+
+def _check_op(
+    op: Operation,
+    clock: _VectorClock,
+    hist: _LocationHistory,
+    model: SynchronizationModel,
+    races: List[Race],
+) -> None:
+    """Race-check ``op`` against the location history."""
+    for other_proc in range(len(clock.times)):
+        if other_proc == op.proc:
+            continue
+        write_op = hist.last_write_op[other_proc]
+        if (
+            write_op is not None
+            and hist.last_write_time[other_proc] > clock.times[other_proc]
+            and model.race_relevant(write_op, op)
+        ):
+            races.append(Race(write_op, op))
+        if op.has_write:
+            read_op = hist.last_read_op[other_proc]
+            if (
+                read_op is not None
+                and hist.last_read_time[other_proc] > clock.times[other_proc]
+                and model.race_relevant(read_op, op)
+            ):
+                races.append(Race(read_op, op))
+
+
+def _record_op(op: Operation, clock: _VectorClock, hist: _LocationHistory) -> None:
+    """Record ``op`` as the issuing processor's latest access."""
+    now = clock.times[op.proc]
+    if op.has_read:
+        hist.last_read_time[op.proc] = now
+        hist.last_read_op[op.proc] = op
+    if op.has_write:
+        hist.last_write_time[op.proc] = now
+        hist.last_write_op[op.proc] = op
+
+
+# ---------------------------------------------------------------------------
+# Whole-program verdicts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DRF0Report:
+    """Outcome of a Definition-3 program check."""
+
+    program: Program
+    model_name: str
+    obeys: bool
+    executions_checked: int
+    race: Optional[Race] = None
+    witness: Optional[Execution] = None
+    complete: bool = True
+
+    def __bool__(self) -> bool:
+        return self.obeys
+
+
+def check_program(
+    program: Program,
+    model: SynchronizationModel = DRF0_MODEL,
+    config: Optional[ExplorationConfig] = None,
+) -> DRF0Report:
+    """Exhaustive Definition-3 verdict over all idealized interleavings.
+
+    Enumerates every interleaving (livelock cycles are explored once: a
+    branch that revisits a thread-states+memory configuration already on the
+    current path is pruned, since the first visit explores every scheduling
+    alternative from that configuration).  Stops at the first race.
+    """
+    cfg = config or ExplorationConfig(max_ops=400)
+    checked = 0
+    for execution in _all_interleavings(program, cfg):
+        checked += 1
+        races = races_in_execution_vc(execution, model)
+        if races:
+            return DRF0Report(
+                program=program,
+                model_name=model.name,
+                obeys=False,
+                executions_checked=checked,
+                race=races[0],
+                witness=execution,
+            )
+    return DRF0Report(
+        program=program, model_name=model.name, obeys=True, executions_checked=checked
+    )
+
+
+def check_program_sampled(
+    program: Program,
+    model: SynchronizationModel = DRF0_MODEL,
+    seeds: Sequence[int] = range(50),
+) -> DRF0Report:
+    """Dynamic detection over random idealized executions.
+
+    A found race is definitive; a clean report is only evidence (the
+    standard dynamic race-detection trade-off the paper's Section 4 cites).
+    """
+    checked = 0
+    for seed in seeds:
+        execution = random_sc_execution(program, seed)
+        checked += 1
+        races = races_in_execution_vc(execution, model)
+        if races:
+            return DRF0Report(
+                program=program,
+                model_name=model.name,
+                obeys=False,
+                executions_checked=checked,
+                race=races[0],
+                witness=execution,
+                complete=False,
+            )
+    return DRF0Report(
+        program=program,
+        model_name=model.name,
+        obeys=True,
+        executions_checked=checked,
+        complete=False,
+    )
+
+
+def _all_interleavings(program: Program, cfg: ExplorationConfig):
+    """Yield every interleaving as an execution, pruning livelock cycles.
+
+    Unlike :func:`repro.core.sc.explore` with ``dedup=False``, this
+    generator prunes branches that revisit a (thread states, memory)
+    configuration already on the current DFS path, so programs with spin
+    loops have a finite exploration.
+    """
+    from repro.core.execution import final_memory_from_dict
+    from repro.core.sc import _Thread, _advance, _initial_threads, execute_atomically
+
+    def path_key(threads, memory):
+        return (
+            tuple(t.state.key() for t in threads),
+            tuple(sorted(memory.items())),
+        )
+
+    def dfs(threads, memory, trace, po_counts, on_path: Set[object]):
+        runnable = [i for i, t in enumerate(threads) if t.pending is not None]
+        if not runnable:
+            yield Execution(program, tuple(trace), final_memory_from_dict(memory))
+            return
+        if len(trace) >= cfg.max_ops:
+            if cfg.allow_incomplete:
+                return
+            raise ExplorationIncomplete(
+                f"interleaving exceeded {cfg.max_ops} operations"
+            )
+        key = path_key(threads, memory)
+        if key in on_path:
+            return  # livelock cycle: already explored from its first visit
+        on_path.add(key)
+        try:
+            for proc in runnable:
+                new_threads = [t.copy() for t in threads]
+                new_memory = dict(memory)
+                new_po = list(po_counts)
+                thread = new_threads[proc]
+                request = thread.pending
+                value_read, value_written = execute_atomically(new_memory, request)
+                op = Operation(
+                    uid=len(trace),
+                    proc=proc,
+                    po_index=new_po[proc],
+                    kind=request.kind,
+                    location=request.location,
+                    value_read=value_read,
+                    value_written=value_written,
+                )
+                new_po[proc] += 1
+                complete(program.threads[proc], thread.state, request, value_read)
+                _advance(program, proc, thread)
+                yield from dfs(new_threads, new_memory, trace + [op], new_po, on_path)
+        finally:
+            on_path.remove(key)
+
+    threads = _initial_threads(program)
+    memory = dict(program.initial_memory)
+    yield from dfs(threads, memory, [], [0] * program.num_procs, set())
+
+
+def obeys_drf0(program: Program, **kwargs) -> bool:
+    """Convenience wrapper: exhaustive DRF0 verdict as a boolean."""
+    return check_program(program, DRF0_MODEL, **kwargs).obeys

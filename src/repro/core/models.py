@@ -1,0 +1,107 @@
+"""Synchronization models: DRF0 and the DRF1-style refinement of Section 6.
+
+The paper defines a *synchronization model* as "a set of constraints on
+memory accesses that specify how and when synchronization needs to be done".
+A program obeys the model when (Definition 3, adapted):
+
+1. all synchronization operations are recognizable by the hardware and each
+   accesses exactly one memory location, and
+2. for any execution on the idealized architecture, all conflicting accesses
+   (that the model does not exempt) are ordered by the happens-before
+   relation corresponding to the execution.
+
+Condition (1) holds by construction in this library: the ISA's sync
+instructions are typed and single-location, so hardware recognizability is
+structural.  Condition (2) is what :mod:`repro.core.drf0` checks.
+
+Two models are provided:
+
+* :class:`DRF0` -- the paper's model: every synchronization operation both
+  *acquires* (observes prior releases on the location) and *releases*
+  (publishes the issuing processor's prior accesses); every pair of
+  conflicting accesses must be hb-ordered.
+* :class:`DRF1` -- the refinement sketched in Section 6 and formalized in
+  the authors' follow-up work: a read-only synchronization operation (the
+  ``Test`` of a Test-and-TestAndSet) only acquires -- it cannot be used to
+  order the issuing processor's previous accesses with respect to subsequent
+  synchronization of other processors.  Synchronization order carries
+  ordering only from an operation with a write component (release) to an
+  operation with a read component (acquire), and conflicting pairs of
+  synchronization operations are exempt from the race requirement (hardware
+  executes them atomically anyway).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.ops import Operation, conflicts
+
+
+class SynchronizationModel(abc.ABC):
+    """A synchronization model in the sense of Section 3 of the paper."""
+
+    #: Short identifier used in reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def is_acquire(self, op: Operation) -> bool:
+        """True if ``op`` observes (joins) prior releases on its location."""
+
+    @abc.abstractmethod
+    def is_release(self, op: Operation) -> bool:
+        """True if ``op`` publishes the issuing processor's prior accesses."""
+
+    def orders(self, earlier: Operation, later: Operation) -> bool:
+        """Whether a synchronization-order edge ``earlier -> later`` exists.
+
+        Both arguments are synchronization operations on the same location
+        with ``earlier`` completing first.
+        """
+        return self.is_release(earlier) and self.is_acquire(later)
+
+    def race_relevant(self, a: Operation, b: Operation) -> bool:
+        """Whether an unordered conflicting pair counts as a race."""
+        return conflicts(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SynchronizationModel {self.name}>"
+
+
+class DRF0(SynchronizationModel):
+    """Data-Race-Free-0: the paper's example synchronization model."""
+
+    name = "DRF0"
+
+    def is_acquire(self, op: Operation) -> bool:
+        """Every synchronization operation acquires under DRF0."""
+        return op.is_sync
+
+    def is_release(self, op: Operation) -> bool:
+        """Every synchronization operation releases under DRF0."""
+        return op.is_sync
+
+
+class DRF1(SynchronizationModel):
+    """The Section-6 refinement: read-only sync acquires but does not release."""
+
+    name = "DRF1"
+
+    def is_acquire(self, op: Operation) -> bool:
+        """Operations with a read component acquire."""
+        return op.is_sync and op.has_read
+
+    def is_release(self, op: Operation) -> bool:
+        """Only operations with a write component release."""
+        return op.is_sync and op.has_write
+
+    def race_relevant(self, a: Operation, b: Operation) -> bool:
+        """Sync-sync conflicts are exempt; they execute atomically in hardware."""
+        if a.is_sync and b.is_sync:
+            return False
+        return conflicts(a, b)
+
+
+#: Shared singletons -- the models are stateless.
+DRF0_MODEL = DRF0()
+DRF1_MODEL = DRF1()

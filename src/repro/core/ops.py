@@ -1,0 +1,95 @@
+"""Dynamic memory operations and the paper's notion of *conflict*.
+
+An :class:`Operation` is one dynamic memory access observed in an execution:
+it knows which processor issued it, its position in that processor's program
+order, its kind, the location touched, and the values read and/or written.
+
+The paper (Definition 3) says: *"Two accesses are said to conflict if they
+access the same location and they are not both reads."*  That predicate is
+:func:`conflicts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.types import Location, OpKind, ProcId, Value
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One dynamic memory operation in an execution.
+
+    Attributes:
+        uid: Unique id within the execution (also the completion index for
+            executions produced by the idealized architecture).
+        proc: Issuing processor.
+        po_index: Position among the issuing processor's memory operations,
+            i.e. its rank in program order.
+        kind: Operation classification (data/sync, read/write/rmw).
+        location: Shared location accessed.
+        value_read: Value returned by the read component (``None`` when the
+            operation has no read component).
+        value_written: Value stored by the write component (``None`` when the
+            operation has no write component).
+    """
+
+    uid: int
+    proc: ProcId
+    po_index: int
+    kind: OpKind
+    location: Location
+    value_read: Optional[Value] = None
+    value_written: Optional[Value] = None
+
+    @property
+    def is_sync(self) -> bool:
+        """True for synchronization operations."""
+        return self.kind.is_sync
+
+    @property
+    def has_read(self) -> bool:
+        """True if the operation has a read component."""
+        return self.kind.has_read
+
+    @property
+    def has_write(self) -> bool:
+        """True if the operation has a write component."""
+        return self.kind.has_write
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        tag = {
+            OpKind.DATA_READ: "R",
+            OpKind.DATA_WRITE: "W",
+            OpKind.SYNC_READ: "Sr",
+            OpKind.SYNC_WRITE: "Sw",
+            OpKind.SYNC_RMW: "Srw",
+        }[self.kind]
+        parts = [f"{tag}(P{self.proc},{self.location}"]
+        if self.value_read is not None:
+            parts.append(f",r={self.value_read}")
+        if self.value_written is not None:
+            parts.append(f",w={self.value_written}")
+        return "".join(parts) + ")"
+
+
+def conflicts(a: Operation, b: Operation) -> bool:
+    """Return True if two operations conflict (paper, Definition 3).
+
+    Two accesses conflict iff they access the same location and they are not
+    both reads.  An operation "is a read" here when it has *only* a read
+    component; read-write synchronization operations count as writers.
+    """
+    if a.location != b.location:
+        return False
+    return a.has_write or b.has_write
+
+
+def same_location_syncs(a: Operation, b: Operation) -> bool:
+    """True if both operations are synchronization ops on the same location.
+
+    Such pairs are exactly the ones related by the paper's synchronization
+    order (so) when one completes before the other.
+    """
+    return a.is_sync and b.is_sync and a.location == b.location

@@ -1,0 +1,314 @@
+"""The idealized architecture: exhaustive sequentially consistent execution.
+
+The paper defines happens-before relations over executions of "an abstract,
+idealized architecture where all memory accesses are executed atomically and
+in program order".  This module *is* that architecture: an explicit-state
+enumerator that explores every interleaving of a program's memory
+operations, executing each operation atomically.
+
+Two exploration modes matter:
+
+* ``dedup=True`` (default): configurations that agree on thread states,
+  memory, and the observations made so far are explored once.  The set of
+  :class:`~repro.core.execution.Result` values found is exactly the set of
+  sequentially consistent results -- this is the right mode for the
+  Definition-2 contract checker.
+* ``dedup=False``: every interleaving is enumerated as a distinct
+  :class:`~repro.core.execution.Execution` trace.  The DRF0 checker uses
+  this mode because two interleavings with the same observable state can
+  still have different happens-before relations.
+
+Programs with synchronization spin loops have *unboundedly many* SC results
+(every spin count is a distinct read history), so exploration prunes
+**livelock cycles**: a branch that revisits a (thread states, memory)
+configuration already on the current DFS path is cut, because the first
+visit already explores every scheduling alternative from that
+configuration.  The enumerated set is therefore the results of executions
+without redundant spin pumping; membership of an *arbitrary* observed
+result (with any spin count) is decided by
+:func:`repro.core.contract.is_sc_result` instead.
+
+Both modes are exponential in the worst case; :class:`ExplorationConfig`
+caps keep them honest, and hitting a cap raises (never silently truncates)
+unless ``allow_incomplete`` is set.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.execution import Execution, Result, final_memory_from_dict
+from repro.core.ops import Operation
+from repro.core.types import Location, OpKind, Value
+from repro.machine.interpreter import (
+    MemRequest,
+    ThreadState,
+    complete,
+    run_to_memory_op,
+)
+from repro.machine.program import Program
+
+
+class ExplorationIncomplete(RuntimeError):
+    """Raised when an exploration cap is hit without ``allow_incomplete``."""
+
+
+@dataclass
+class ExplorationConfig:
+    """Caps and switches for state-space exploration.
+
+    Attributes:
+        max_executions: Stop after this many complete executions
+            (``None`` = unbounded).
+        max_ops: Bound on operations in a single execution; exceeding it
+            means the program probably spins forever under some schedule.
+        max_states: Bound on distinct configurations visited.
+        dedup: Merge configurations with identical observable state.
+        allow_incomplete: Return partial answers instead of raising when a
+            cap is hit.
+    """
+
+    max_executions: Optional[int] = None
+    max_ops: int = 400
+    max_states: int = 2_000_000
+    dedup: bool = True
+    allow_incomplete: bool = False
+
+
+@dataclass
+class Exploration:
+    """Outcome of :func:`explore`."""
+
+    program: Program
+    executions: List[Execution]
+    results: Set[Result]
+    complete: bool
+    states_visited: int = 0
+
+    @property
+    def result_set(self) -> FrozenSet[Result]:
+        """The sequentially consistent result set (frozen)."""
+        return frozenset(self.results)
+
+
+class _Thread:
+    """Exploration-time view of one thread: state plus pending request."""
+
+    __slots__ = ("state", "pending")
+
+    def __init__(self, state: ThreadState, pending: Optional[MemRequest]) -> None:
+        self.state = state
+        self.pending = pending
+
+    def copy(self) -> "_Thread":
+        return _Thread(self.state.copy(), self.pending)
+
+
+def _advance(program: Program, proc: int, thread: _Thread) -> None:
+    """Run thread ``proc`` to its next memory operation (skipping delays)."""
+    pending, _ = run_to_memory_op(
+        program.threads[proc], thread.state, skip_delays=True
+    )
+    assert pending is None or isinstance(pending, MemRequest)
+    thread.pending = pending
+
+
+def _initial_threads(program: Program) -> List[_Thread]:
+    threads = []
+    for proc in range(program.num_procs):
+        thread = _Thread(ThreadState(), None)
+        _advance(program, proc, thread)
+        threads.append(thread)
+    return threads
+
+
+def execute_atomically(
+    memory: Dict[Location, Value], request: MemRequest
+) -> Tuple[Optional[Value], Optional[Value]]:
+    """Perform one memory operation atomically against ``memory``.
+
+    Returns ``(value_read, value_written)`` with ``None`` for the missing
+    component.  This tiny function is the entire memory semantics of the
+    idealized architecture.
+    """
+    value_read: Optional[Value] = None
+    value_written: Optional[Value] = None
+    if request.kind.has_read:
+        value_read = memory[request.location]
+    if request.kind.has_write:
+        assert request.write_value is not None
+        memory[request.location] = request.write_value
+        value_written = request.write_value
+    return value_read, value_written
+
+
+def explore(
+    program: Program, config: Optional[ExplorationConfig] = None
+) -> Exploration:
+    """Enumerate executions of ``program`` on the idealized architecture."""
+    cfg = config or ExplorationConfig()
+    executions: List[Execution] = []
+    results: Set[Result] = set()
+    visited: Set[object] = set()
+    stats = {"states": 0, "complete": True}
+
+    def config_key(
+        threads: Sequence[_Thread],
+        memory: Dict[Location, Value],
+        reads: Sequence[Tuple[Value, ...]],
+    ) -> object:
+        return (
+            tuple(t.state.key() for t in threads),
+            tuple(sorted(memory.items())),
+            tuple(reads),
+        )
+
+    def emit(
+        threads: Sequence[_Thread],
+        memory: Dict[Location, Value],
+        trace: List[Operation],
+    ) -> bool:
+        """Record a finished execution; returns False when capped."""
+        execution = Execution(program, tuple(trace), final_memory_from_dict(memory))
+        executions.append(execution)
+        results.add(execution.result())
+        if cfg.max_executions is not None and len(executions) >= cfg.max_executions:
+            stats["complete"] = False
+            return False
+        return True
+
+    def dfs(
+        threads: List[_Thread],
+        memory: Dict[Location, Value],
+        trace: List[Operation],
+        reads: List[Tuple[Value, ...]],
+        po_counts: List[int],
+        on_path: Set[object],
+    ) -> bool:
+        """Returns False to abort the whole exploration (cap hit)."""
+        runnable = [i for i, t in enumerate(threads) if t.pending is not None]
+        if not runnable:
+            return emit(threads, memory, trace)
+        if len(trace) >= cfg.max_ops:
+            stats["complete"] = False
+            if cfg.allow_incomplete:
+                return True
+            raise ExplorationIncomplete(
+                f"execution exceeded {cfg.max_ops} operations; "
+                "the program may spin forever under some schedule"
+            )
+        cycle_key = (
+            tuple(t.state.key() for t in threads),
+            tuple(sorted(memory.items())),
+        )
+        if cycle_key in on_path:
+            return True  # livelock cycle: already explored from its first visit
+        if cfg.dedup:
+            key = config_key(threads, memory, reads)
+            if key in visited:
+                return True
+            visited.add(key)
+            stats["states"] += 1
+            if stats["states"] > cfg.max_states:
+                stats["complete"] = False
+                if cfg.allow_incomplete:
+                    return True
+                raise ExplorationIncomplete(
+                    f"visited more than {cfg.max_states} configurations"
+                )
+        on_path.add(cycle_key)
+        try:
+            for proc in runnable:
+                new_threads = [t.copy() for t in threads]
+                new_memory = dict(memory)
+                new_reads = list(reads)
+                new_po = list(po_counts)
+                thread = new_threads[proc]
+                request = thread.pending
+                assert request is not None
+                value_read, value_written = execute_atomically(new_memory, request)
+                op = Operation(
+                    uid=len(trace),
+                    proc=proc,
+                    po_index=new_po[proc],
+                    kind=request.kind,
+                    location=request.location,
+                    value_read=value_read,
+                    value_written=value_written,
+                )
+                new_po[proc] += 1
+                if value_read is not None:
+                    new_reads[proc] = new_reads[proc] + (value_read,)
+                complete(program.threads[proc], thread.state, request, value_read)
+                _advance(program, proc, thread)
+                if not dfs(
+                    new_threads, new_memory, trace + [op], new_reads, new_po, on_path
+                ):
+                    return False
+        finally:
+            on_path.remove(cycle_key)
+        return True
+
+    threads = _initial_threads(program)
+    memory = dict(program.initial_memory)
+    dfs(threads, memory, [], [() for _ in threads], [0] * program.num_procs, set())
+    return Exploration(
+        program=program,
+        executions=executions,
+        results=results,
+        complete=stats["complete"],
+        states_visited=stats["states"],
+    )
+
+
+def sc_results(
+    program: Program, config: Optional[ExplorationConfig] = None
+) -> FrozenSet[Result]:
+    """The exact set of sequentially consistent results of ``program``."""
+    cfg = config or ExplorationConfig()
+    cfg.dedup = True
+    return explore(program, cfg).result_set
+
+
+def sc_executions(
+    program: Program, config: Optional[ExplorationConfig] = None
+) -> List[Execution]:
+    """Every interleaving of ``program`` as a distinct execution trace."""
+    cfg = config or ExplorationConfig(dedup=False)
+    cfg.dedup = False
+    return explore(program, cfg).executions
+
+
+def random_sc_execution(program: Program, seed: int = 0) -> Execution:
+    """One sequentially consistent execution under a random fair schedule."""
+    rng = random.Random(seed)
+    threads = _initial_threads(program)
+    memory = dict(program.initial_memory)
+    trace: List[Operation] = []
+    po_counts = [0] * program.num_procs
+    while True:
+        runnable = [i for i, t in enumerate(threads) if t.pending is not None]
+        if not runnable:
+            break
+        proc = rng.choice(runnable)
+        thread = threads[proc]
+        request = thread.pending
+        assert request is not None
+        value_read, value_written = execute_atomically(memory, request)
+        trace.append(
+            Operation(
+                uid=len(trace),
+                proc=proc,
+                po_index=po_counts[proc],
+                kind=request.kind,
+                location=request.location,
+                value_read=value_read,
+                value_written=value_written,
+            )
+        )
+        po_counts[proc] += 1
+        complete(program.threads[proc], thread.state, request, value_read)
+        _advance(program, proc, thread)
+    return Execution(program, tuple(trace), final_memory_from_dict(memory))

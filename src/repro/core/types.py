@@ -1,0 +1,89 @@
+"""Fundamental value types shared by every layer of the library.
+
+The paper models a shared-memory MIMD multiprocessor in which processors
+issue *memory operations* (data reads, data writes, and synchronization
+operations) against named shared locations.  This module pins down the
+vocabulary used everywhere else:
+
+* a :class:`Location` is a named shared-memory cell,
+* a value is a plain ``int``,
+* a processor is identified by a small ``int`` index,
+* :class:`OpKind` classifies operations exactly the way Section 5.1 of the
+  paper does -- data reads/writes plus read-only, write-only and read-write
+  synchronization operations.
+"""
+
+from __future__ import annotations
+
+import enum
+
+# A shared-memory location.  Locations are plain strings ("x", "y", "lock")
+# so programs and traces stay human-readable.
+Location = str
+
+# A processor (equivalently: thread) index, 0-based.
+ProcId = int
+
+# Values stored in memory and registers.
+Value = int
+
+#: Value every location holds before the program starts (the paper's
+#: hypothetical "initializing write to every memory location").
+INITIAL_VALUE: Value = 0
+
+
+class OpKind(enum.Enum):
+    """Classification of memory operations.
+
+    Section 5.1 of the paper distinguishes data (ordinary) operations from
+    synchronization operations, and further splits synchronization into
+    read-only (e.g. ``Test``), write-only (e.g. ``Unset``) and read-write
+    (e.g. ``TestAndSet``) operations.  Section 6 exploits exactly this split
+    to define the DRF1-style refinement of DRF0.
+    """
+
+    DATA_READ = "data_read"
+    DATA_WRITE = "data_write"
+    SYNC_READ = "sync_read"          # read-only synchronization (Test)
+    SYNC_WRITE = "sync_write"        # write-only synchronization (Unset)
+    SYNC_RMW = "sync_rmw"            # read-write synchronization (TestAndSet)
+
+    @property
+    def is_sync(self) -> bool:
+        """True for operations recognizable by hardware as synchronization."""
+        return self in (OpKind.SYNC_READ, OpKind.SYNC_WRITE, OpKind.SYNC_RMW)
+
+    @property
+    def has_read(self) -> bool:
+        """True if the operation has a read component (paper's convention)."""
+        return self in (OpKind.DATA_READ, OpKind.SYNC_READ, OpKind.SYNC_RMW)
+
+    @property
+    def has_write(self) -> bool:
+        """True if the operation has a write component (paper's convention)."""
+        return self in (OpKind.DATA_WRITE, OpKind.SYNC_WRITE, OpKind.SYNC_RMW)
+
+
+class Condition(enum.Enum):
+    """Comparison conditions used by conditional branches in the ISA."""
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def evaluate(self, lhs: Value, rhs: Value) -> bool:
+        """Apply the comparison to two integer values."""
+        if self is Condition.EQ:
+            return lhs == rhs
+        if self is Condition.NE:
+            return lhs != rhs
+        if self is Condition.LT:
+            return lhs < rhs
+        if self is Condition.LE:
+            return lhs <= rhs
+        if self is Condition.GT:
+            return lhs > rhs
+        return lhs >= rhs

@@ -1,0 +1,30 @@
+"""Memory-system policies: SC, Definition 1, and the paper's implementation."""
+
+from repro.hw.base import BlockLevel, GateCondition, MemoryPolicy
+from repro.hw.relaxed import RelaxedPolicy
+from repro.hw.release_consistency import ReleaseConsistencyPolicy
+from repro.hw.sc_impl import SCPolicy
+from repro.hw.wo_adve_hill import AdveHillPolicy
+from repro.hw.wo_definition1 import Definition1Policy
+
+#: Factories for the policies compared throughout the benchmarks.
+POLICY_FACTORIES = {
+    "sc": SCPolicy,
+    "definition1": Definition1Policy,
+    "adve-hill": AdveHillPolicy,
+    "adve-hill-drf1": lambda: AdveHillPolicy(drf1_optimized=True),
+    "release-consistency": ReleaseConsistencyPolicy,
+    "relaxed": RelaxedPolicy,
+}
+
+__all__ = [
+    "AdveHillPolicy",
+    "BlockLevel",
+    "Definition1Policy",
+    "GateCondition",
+    "MemoryPolicy",
+    "POLICY_FACTORIES",
+    "RelaxedPolicy",
+    "ReleaseConsistencyPolicy",
+    "SCPolicy",
+]

@@ -1,0 +1,31 @@
+"""A completely unordered policy, for demonstrating the Figure-1 violations.
+
+No generation gates, no blocking beyond the unavoidable read-value wait.
+Writes drain through write buffers (cacheless systems) or overlap with
+later accesses (cache systems) with nothing enforcing order.  Individual
+read-modify-write synchronization operations are still atomic -- the
+substrate guarantees that -- but nothing orders *across* accesses, so this
+hardware is not weakly ordered with respect to anything useful.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hw.base import BlockLevel, GateCondition, MemoryPolicy
+from repro.sim.access import AccessRecord
+
+
+class RelaxedPolicy(MemoryPolicy):
+    """Maximum overlap, no ordering: the Figure-1 strawman."""
+
+    name = "relaxed-unordered"
+    buffers_cache_writes = True
+
+    def generation_gate(self, proc, access: AccessRecord) -> List[GateCondition]:
+        """Never gate generation."""
+        return []
+
+    def block_level(self, access: AccessRecord) -> BlockLevel:
+        """Never block beyond the implicit read-value wait."""
+        return BlockLevel.NONE

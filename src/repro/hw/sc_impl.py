@@ -1,0 +1,38 @@
+"""Sequentially consistent implementation ([ScD87] sufficient condition).
+
+"The condition is satisfied if all processors issue their accesses in
+program order, and no access is issued by a processor until its previous
+accesses have been globally performed."  The front end is in-order already;
+this policy adds the globally-performed gate between consecutive accesses.
+
+This is the baseline the paper argues against on performance: every write
+serializes the processor against the full interconnect round trip.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hw.base import BlockLevel, GateCondition, MemoryPolicy
+from repro.sim.access import AccessRecord
+
+
+class SCPolicy(MemoryPolicy):
+    """Stall every access until the previous one is globally performed."""
+
+    name = "sequential-consistency"
+
+    def generation_gate(self, proc, access: AccessRecord) -> List[GateCondition]:
+        """Gate on the immediately previous access being globally performed.
+
+        Global performance is transitively ordered here (the previous access
+        gated on its own predecessor), so one condition suffices.
+        """
+        previous = proc.last_generated
+        if previous is not None and not previous.globally_performed:
+            return [GateCondition(previous, BlockLevel.GP)]
+        return []
+
+    def block_level(self, access: AccessRecord) -> BlockLevel:
+        """Block the thread itself too; keeps the pipeline strictly serial."""
+        return BlockLevel.GP

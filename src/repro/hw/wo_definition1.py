@@ -1,0 +1,55 @@
+"""Weak ordering per Definition 1 (Dubois, Scheurich and Briggs).
+
+Definition 1's three conditions, as implemented here:
+
+1. *Accesses to global synchronizing variables are strongly ordered* -- a
+   synchronization access gates on **all** previous accesses (data and
+   sync) being globally performed, which in particular serializes
+   synchronization accesses against each other; the substrate's directory
+   additionally serializes same-location synchronization system-wide.
+2. *No access to a synchronizing variable is issued by a processor before
+   all previous global data accesses have been globally performed* -- the
+   same gate.
+3. *No access to global data is issued by a processor before a previous
+   access to a synchronizing variable has been globally performed* -- every
+   data access gates on the processor's previous synchronization accesses
+   being globally performed.
+
+Between synchronization points, data writes are fire-and-forget and overlap
+freely -- that is weak ordering's performance advantage over SC.  The cost
+the paper attacks: the issuing processor stalls *at* each synchronization
+operation until everything before it has been observed by all processors
+(Figure 3's "Def. 1 stalls P0").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hw.base import BlockLevel, GateCondition, MemoryPolicy
+from repro.sim.access import AccessRecord
+
+
+class Definition1Policy(MemoryPolicy):
+    """The old definition: stall the issuing processor at sync operations."""
+
+    name = "weak-ordering-definition1"
+
+    def generation_gate(self, proc, access: AccessRecord) -> List[GateCondition]:
+        if access.is_sync:
+            # Conditions 1 & 2: everything previous must be globally
+            # performed before a synchronization access is issued.
+            return [
+                GateCondition(prev, BlockLevel.GP)
+                for prev in proc.not_globally_performed()
+            ]
+        # Condition 3: previous synchronization accesses must be globally
+        # performed before a data access is issued.
+        return [
+            GateCondition(sync, BlockLevel.GP)
+            for sync in proc.pending_syncs(BlockLevel.GP)
+        ]
+
+    def block_level(self, access: AccessRecord) -> BlockLevel:
+        """No extra blocking: the gates carry all of Definition 1's order."""
+        return BlockLevel.NONE

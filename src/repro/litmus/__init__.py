@@ -1,0 +1,27 @@
+"""Litmus tests: the paper's figures and the classic suite."""
+
+from repro.litmus.catalog import LitmusTest, all_tests, by_name
+from repro.litmus.figures import (
+    figure2a_execution,
+    figure2b_execution,
+    figure3_program,
+)
+from repro.litmus.harness import (
+    LitmusHardwareReport,
+    hardware_outcome_table,
+    run_litmus_on_hardware,
+    verify_catalog_expectations,
+)
+
+__all__ = [
+    "LitmusHardwareReport",
+    "LitmusTest",
+    "all_tests",
+    "by_name",
+    "figure2a_execution",
+    "figure2b_execution",
+    "figure3_program",
+    "hardware_outcome_table",
+    "run_litmus_on_hardware",
+    "verify_catalog_expectations",
+]

@@ -1,0 +1,192 @@
+"""A small fluent builder for writing programs by hand.
+
+Example -- the store-buffer litmus from the paper's Figure 1::
+
+    from repro.machine.dsl import ThreadBuilder, build_program
+
+    p1 = ThreadBuilder().store("x", 1).load("r1", "y")
+    p2 = ThreadBuilder().store("y", 1).load("r2", "x")
+    program = build_program([p1, p2], name="store-buffer")
+
+Branches use labels::
+
+    t = (ThreadBuilder()
+         .label("spin")
+         .test_and_set("r0", "lock")
+         .branch_if(Condition.NE, "r0", 0, "spin")
+         .store("count", 1)
+         .unset("lock"))
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+from repro.core.types import Condition, Location, Value
+from repro.machine.isa import (
+    Add,
+    BranchIf,
+    Delay,
+    Div,
+    Fence,
+    Instruction,
+    Jump,
+    Load,
+    Mov,
+    Mul,
+    Operand,
+    Store,
+    Sub,
+    SyncLoad,
+    SyncStore,
+    TestAndSet,
+    Unset,
+)
+from repro.machine.program import Program, ProgramError, ThreadCode
+
+
+class ThreadBuilder:
+    """Accumulates instructions and labels for one thread."""
+
+    def __init__(self) -> None:
+        self._instructions: List[Instruction] = []
+        self._labels: dict[str, int] = {}
+
+    # -- structure ---------------------------------------------------------
+
+    def label(self, name: str) -> "ThreadBuilder":
+        """Place a label at the current position."""
+        if name in self._labels:
+            raise ProgramError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    def build(self) -> ThreadCode:
+        """Finish and return the immutable :class:`ThreadCode`."""
+        return ThreadCode(tuple(self._instructions), dict(self._labels))
+
+    # -- local instructions --------------------------------------------------
+
+    def mov(self, dst: str, src: Operand) -> "ThreadBuilder":
+        """``dst = src``."""
+        self._instructions.append(Mov(dst, src))
+        return self
+
+    def add(self, dst: str, a: Operand, b: Operand) -> "ThreadBuilder":
+        """``dst = a + b``."""
+        self._instructions.append(Add(dst, a, b))
+        return self
+
+    def sub(self, dst: str, a: Operand, b: Operand) -> "ThreadBuilder":
+        """``dst = a - b``."""
+        self._instructions.append(Sub(dst, a, b))
+        return self
+
+    def mul(self, dst: str, a: Operand, b: Operand) -> "ThreadBuilder":
+        """``dst = a * b``."""
+        self._instructions.append(Mul(dst, a, b))
+        return self
+
+    def div(self, dst: str, a: Operand, b: Operand) -> "ThreadBuilder":
+        """``dst = a // b`` (floor division)."""
+        self._instructions.append(Div(dst, a, b))
+        return self
+
+    def jump(self, label: str) -> "ThreadBuilder":
+        """Unconditional branch."""
+        self._instructions.append(Jump(label))
+        return self
+
+    def branch_if(
+        self, cond: Condition, a: Operand, b: Operand, label: str
+    ) -> "ThreadBuilder":
+        """Branch to ``label`` when ``cond(a, b)``."""
+        self._instructions.append(BranchIf(cond, a, b, label))
+        return self
+
+    def delay(self, cycles: int) -> "ThreadBuilder":
+        """Local work consuming ``cycles`` simulated cycles."""
+        self._instructions.append(Delay(cycles))
+        return self
+
+    def fence(self) -> "ThreadBuilder":
+        """Full fence: wait for all prior accesses to globally perform."""
+        self._instructions.append(Fence())
+        return self
+
+    # -- memory instructions ---------------------------------------------------
+
+    def load(self, dst: str, location: Location) -> "ThreadBuilder":
+        """Data read into register ``dst``."""
+        self._instructions.append(Load(dst, location))
+        return self
+
+    def store(self, location: Location, src: Operand) -> "ThreadBuilder":
+        """Data write of ``src`` to ``location``."""
+        self._instructions.append(Store(location, src))
+        return self
+
+    def sync_load(self, dst: str, location: Location) -> "ThreadBuilder":
+        """Read-only synchronization operation (``Test``)."""
+        self._instructions.append(SyncLoad(dst, location))
+        return self
+
+    def sync_store(self, location: Location, src: Operand) -> "ThreadBuilder":
+        """Write-only synchronization operation."""
+        self._instructions.append(SyncStore(location, src))
+        return self
+
+    def unset(self, location: Location) -> "ThreadBuilder":
+        """The paper's ``Unset`` (write-only sync of 0)."""
+        self._instructions.append(Unset(location))
+        return self
+
+    def test_and_set(
+        self, dst: str, location: Location, set_value: Value = 1
+    ) -> "ThreadBuilder":
+        """Atomic ``TestAndSet`` returning the old value in ``dst``."""
+        self._instructions.append(TestAndSet(dst, location, set_value))
+        return self
+
+    # -- common idioms -----------------------------------------------------
+
+    def acquire(self, location: Location, scratch: str = "_tas") -> "ThreadBuilder":
+        """Spin-lock acquire with a plain TestAndSet loop."""
+        name = f"_acq{len(self._instructions)}"
+        return (
+            self.label(name)
+            .test_and_set(scratch, location)
+            .branch_if(Condition.NE, scratch, 0, name)
+        )
+
+    def acquire_ttas(self, location: Location, scratch: str = "_tas") -> "ThreadBuilder":
+        """Test-and-TestAndSet acquire: spin with a read-only sync first.
+
+        This is the Section-6 idiom whose repeated ``Test`` operations the
+        DRF0 implementation serializes (motivating the DRF1 refinement).
+        """
+        outer = f"_ttas{len(self._instructions)}"
+        inner = f"_spin{len(self._instructions)}"
+        return (
+            self.label(outer)
+            .label(inner)
+            .sync_load(scratch, location)
+            .branch_if(Condition.NE, scratch, 0, inner)
+            .test_and_set(scratch, location)
+            .branch_if(Condition.NE, scratch, 0, outer)
+        )
+
+    def release(self, location: Location) -> "ThreadBuilder":
+        """Spin-lock release (``Unset``)."""
+        return self.unset(location)
+
+
+def build_program(
+    threads: Sequence[ThreadBuilder],
+    initial_memory: Mapping[Location, Value] | None = None,
+    name: str = "program",
+) -> Program:
+    """Assemble thread builders into a :class:`Program`."""
+    return Program.make(
+        [t.build() for t in threads], initial_memory=initial_memory, name=name
+    )

@@ -1,0 +1,225 @@
+"""Instruction set of the small register machine used to express programs.
+
+Every executor in the library -- the idealized sequentially consistent
+architecture (:mod:`repro.core.sc`) and the discrete-event hardware
+simulator (:mod:`repro.sim`) -- runs the *same* programs, expressed in this
+ISA.  That shared frontend is what lets the Definition-2 contract checker
+compare a hardware result directly against the exhaustively enumerated set
+of sequentially consistent results.
+
+The ISA is deliberately tiny:
+
+* register/immediate arithmetic (``Mov``, ``Add``, ``Sub``, ``Mul``),
+* control flow (``Jump``, ``BranchIf`` with the usual comparisons),
+* data memory operations (``Load``, ``Store``),
+* the paper's synchronization primitives: ``TestAndSet`` (read-write sync),
+  ``Unset``/``SyncStore`` (write-only sync), ``SyncLoad`` (read-only sync,
+  i.e. the ``Test`` of a Test-and-TestAndSet),
+* ``Delay`` -- consumes simulated cycles, a no-op on the idealized
+  architecture; used to model the paper's "does other work" (Figure 3),
+* ``Fence`` -- the RP3-style full fence: wait until all previous accesses
+  are globally performed (a no-op on the idealized architecture).
+
+Operands are either a register name (``str``) or an immediate (``int``).
+Branch targets are label names resolved by :class:`repro.machine.program.ThreadCode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.types import Condition, Location, OpKind, Value
+
+#: An operand: either a register name or an immediate integer value.
+Operand = Union[str, int]
+
+
+class Instruction:
+    """Base class for all instructions (purely a marker)."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Local (non-memory) instructions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Mov(Instruction):
+    """``dst = src`` -- copy a register or immediate into a register."""
+
+    dst: str
+    src: Operand
+
+
+@dataclass(frozen=True)
+class Add(Instruction):
+    """``dst = a + b``."""
+
+    dst: str
+    a: Operand
+    b: Operand
+
+
+@dataclass(frozen=True)
+class Sub(Instruction):
+    """``dst = a - b``."""
+
+    dst: str
+    a: Operand
+    b: Operand
+
+
+@dataclass(frozen=True)
+class Mul(Instruction):
+    """``dst = a * b``."""
+
+    dst: str
+    a: Operand
+    b: Operand
+
+
+@dataclass(frozen=True)
+class Div(Instruction):
+    """``dst = a // b`` (floor division; division by zero yields 0)."""
+
+    dst: str
+    a: Operand
+    b: Operand
+
+
+@dataclass(frozen=True)
+class Jump(Instruction):
+    """Unconditional branch to ``label``."""
+
+    label: str
+
+
+@dataclass(frozen=True)
+class BranchIf(Instruction):
+    """Branch to ``label`` when ``cond(a, b)`` holds."""
+
+    cond: Condition
+    a: Operand
+    b: Operand
+    label: str
+
+
+@dataclass(frozen=True)
+class Delay(Instruction):
+    """Consume ``cycles`` simulated cycles doing local work.
+
+    On the idealized architecture this is a no-op; on the hardware simulator
+    it models computation that does not touch shared memory (the paper's
+    "does other work" in Figure 3).
+    """
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class Fence(Instruction):
+    """Full memory fence: the issuing processor waits until all its previous
+    accesses are globally performed before generating anything later.
+
+    This is the RP3 option the paper describes in Section 2.1 ("a process is
+    required to wait for acknowledgements on its outstanding requests only
+    on a fence instruction.  As will be apparent later, this option
+    functions as a weakly ordered system"): data accesses run unordered and
+    the fence is the only ordering point.  On the idealized architecture a
+    fence is a no-op (everything is already atomic and in order).
+    """
+
+
+@dataclass(frozen=True)
+class Halt(Instruction):
+    """Stop the thread.  An implicit ``Halt`` ends every thread."""
+
+
+# ---------------------------------------------------------------------------
+# Memory instructions
+# ---------------------------------------------------------------------------
+
+
+class MemoryInstruction(Instruction):
+    """Base class for instructions that access shared memory."""
+
+    __slots__ = ()
+
+    #: OpKind produced by this instruction; overridden per subclass.
+    kind: OpKind
+
+
+@dataclass(frozen=True)
+class Load(MemoryInstruction):
+    """Data read: ``dst = mem[location]``."""
+
+    dst: str
+    location: Location
+    kind = OpKind.DATA_READ
+
+
+@dataclass(frozen=True)
+class Store(MemoryInstruction):
+    """Data write: ``mem[location] = src``."""
+
+    location: Location
+    src: Operand
+    kind = OpKind.DATA_WRITE
+
+
+@dataclass(frozen=True)
+class SyncLoad(MemoryInstruction):
+    """Read-only synchronization operation (the paper's ``Test``)."""
+
+    dst: str
+    location: Location
+    kind = OpKind.SYNC_READ
+
+
+@dataclass(frozen=True)
+class SyncStore(MemoryInstruction):
+    """Write-only synchronization operation (generalizes ``Unset``)."""
+
+    location: Location
+    src: Operand
+    kind = OpKind.SYNC_WRITE
+
+
+@dataclass(frozen=True)
+class Unset(MemoryInstruction):
+    """The paper's ``Unset``: write-only sync storing 0 to ``location``."""
+
+    location: Location
+    kind = OpKind.SYNC_WRITE
+
+
+@dataclass(frozen=True)
+class TestAndSet(MemoryInstruction):
+    """Read-write synchronization: ``dst = mem[location]; mem[location] = set_value``.
+
+    Atomic with respect to all other synchronization operations on the same
+    location (the paper's implementation-model assumption).
+    """
+
+    dst: str
+    location: Location
+    set_value: Value = 1
+    kind = OpKind.SYNC_RMW
+    __test__ = False  # keep pytest from collecting this as a test class
+
+
+def written_value(instruction: MemoryInstruction, operand_value: Value) -> Value:
+    """Value stored by a memory instruction's write component.
+
+    ``operand_value`` is the evaluated source operand for ``Store`` and
+    ``SyncStore``; it is ignored for ``Unset`` (always 0) and ``TestAndSet``
+    (always ``set_value``).
+    """
+    if isinstance(instruction, Unset):
+        return 0
+    if isinstance(instruction, TestAndSet):
+        return instruction.set_value
+    return operand_value

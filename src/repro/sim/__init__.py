@@ -1,0 +1,47 @@
+"""Discrete-event hardware simulator: the contract's hardware side."""
+
+from repro.sim.access import AccessRecord
+from repro.sim.cache import CacheController, CacheLine, LineState
+from repro.sim.directory import Directory, DirectoryEntry
+from repro.sim.events import SimulationError, Simulator
+from repro.sim.memory import CachelessPort, MemoryModule
+from repro.sim.messages import Message, MsgKind
+from repro.sim.migration import MigrationPlan, run_with_migration
+from repro.sim.network import Bus, GeneralNetwork, Interconnect
+from repro.sim.processor import Processor, ProcessorStats
+from repro.sim.system import (
+    FIGURE1_CONFIGS,
+    MachineRun,
+    SimulationDeadlock,
+    SystemConfig,
+    run_on_hardware,
+    run_seed_sweep,
+)
+
+__all__ = [
+    "AccessRecord",
+    "Bus",
+    "CacheController",
+    "CacheLine",
+    "CachelessPort",
+    "Directory",
+    "DirectoryEntry",
+    "FIGURE1_CONFIGS",
+    "GeneralNetwork",
+    "Interconnect",
+    "LineState",
+    "MachineRun",
+    "MemoryModule",
+    "Message",
+    "MigrationPlan",
+    "MsgKind",
+    "run_with_migration",
+    "Processor",
+    "ProcessorStats",
+    "SimulationDeadlock",
+    "SimulationError",
+    "Simulator",
+    "SystemConfig",
+    "run_on_hardware",
+    "run_seed_sweep",
+]

@@ -1,0 +1,81 @@
+"""Discrete-event simulation kernel.
+
+A minimal calendar queue: callbacks scheduled at absolute or relative
+simulated times, executed in (time, insertion) order.  All hardware
+components share one :class:`Simulator` instance; all nondeterminism in a
+run comes from seeded RNGs owned by components (the kernel itself is
+deterministic), so a run is reproducible from its configuration and seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level failures (negative delays, runaway runs)."""
+
+
+class Simulator:
+    """Event queue with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        self._events_executed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in cycles."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (for runaway detection/stats)."""
+        return self._events_executed
+
+    def at(self, time: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past ({time} < {self._now})")
+        heapq.heappush(self._queue, (time, self._seq, callback))
+        self._seq += 1
+
+    def after(self, delay: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.at(self._now + delay, callback)
+
+    def pending(self) -> int:
+        """Number of queued events."""
+        return len(self._queue)
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: int = 50_000_000,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Drain the event queue.
+
+        Stops when the queue empties, the clock passes ``until``, the
+        ``stop_when`` predicate holds between events, or ``max_events``
+        fire (raising, to catch runaway simulations).
+        """
+        while self._queue:
+            if stop_when is not None and stop_when():
+                return
+            time, _, callback = self._queue[0]
+            if until is not None and time > until:
+                return
+            heapq.heappop(self._queue)
+            self._now = time
+            callback()
+            self._events_executed += 1
+            if self._events_executed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; simulation is likely stuck"
+                )

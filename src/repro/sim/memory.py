@@ -1,0 +1,204 @@
+"""Cacheless memory system: a memory module plus per-processor ports.
+
+This models the paper's cacheless configurations (Figure 1, top half): a
+shared memory reached over the interconnect.  Synchronization read-modify-
+writes execute atomically at the module.
+
+The per-processor :class:`CachelessPort` includes an optional **write
+buffer**: writes are queued and drained in FIFO order after a configurable
+delay while reads bypass the buffer (with store-to-load forwarding for the
+processor's own buffered writes, preserving uniprocessor semantics).  The
+read-passes-write behaviour is exactly how a bus-based cacheless system
+violates sequential consistency in Figure 1; policies that enforce stronger
+orders (SC, Definition 1 at sync points) gate access generation so the
+buffer never reorders anything observable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.core.types import Location, OpKind, Value
+from repro.sim.access import AccessRecord
+from repro.sim.events import SimulationError, Simulator
+from repro.sim.messages import Message, MsgKind
+from repro.sim.network import Interconnect
+
+
+class MemoryModule:
+    """The shared memory of a cacheless system.
+
+    Services each request ``latency`` cycles after arrival (banked memory:
+    requests to different locations do not queue behind each other; the
+    interconnect provides all the ordering there is).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Interconnect,
+        node_id: str,
+        initial_memory: Dict[Location, Value],
+        latency: int = 4,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.values: Dict[Location, Value] = dict(initial_memory)
+        self.latency = latency
+        network.attach(node_id, self._on_message)
+
+    def _on_message(self, message: Message) -> None:
+        self.sim.after(self.latency, lambda: self._service(message))
+
+    def _service(self, message: Message) -> None:
+        """Apply the request atomically and reply."""
+        loc = message.location
+        if message.kind is MsgKind.MEM_READ:
+            reply = Message(
+                MsgKind.MEM_DATA,
+                src=self.node_id,
+                dst=message.src,
+                location=loc,
+                value=self.values[loc],
+                access_uid=message.access_uid,
+            )
+        elif message.kind is MsgKind.MEM_WRITE:
+            self.values[loc] = message.value
+            reply = Message(
+                MsgKind.MEM_WRITE_ACK,
+                src=self.node_id,
+                dst=message.src,
+                location=loc,
+                access_uid=message.access_uid,
+            )
+        elif message.kind is MsgKind.MEM_RMW:
+            old = self.values[loc]
+            self.values[loc] = message.value
+            reply = Message(
+                MsgKind.MEM_DATA,
+                src=self.node_id,
+                dst=message.src,
+                location=loc,
+                value=old,
+                access_uid=message.access_uid,
+            )
+        else:  # pragma: no cover - protocol is closed
+            raise SimulationError(f"memory module got {message.kind}")
+        self.network.send(reply)
+
+
+class CachelessPort:
+    """Per-processor memory port for cacheless systems.
+
+    Translates :class:`AccessRecord` objects into memory-module messages and
+    marks commit / globally-performed on replies.  Owns the optional write
+    buffer.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Interconnect,
+        node_id: str,
+        memory_id: str,
+        write_buffer: bool = True,
+        drain_delay: int = 3,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.memory_id = memory_id
+        self.write_buffer_enabled = write_buffer
+        self.drain_delay = drain_delay
+        self._buffer: Deque[AccessRecord] = deque()
+        self._draining = False
+        self._inflight: Dict[int, AccessRecord] = {}
+        network.attach(node_id, self._on_message)
+
+    # -- processor-facing API ---------------------------------------------
+
+    def submit(self, access: AccessRecord) -> None:
+        """Hand one generated access to the memory system."""
+        if access.kind is OpKind.DATA_WRITE and self.write_buffer_enabled:
+            # Commit point: a buffered write's value can be dispatched to the
+            # owner's own later reads (store-to-load forwarding).
+            access.mark_committed(self.sim.now)
+            self._buffer.append(access)
+            self._schedule_drain()
+            return
+        if access.has_read and not access.has_write:
+            forwarded = self._forwarded_value(access.location)
+            if forwarded is not None:
+                # Read satisfied from the processor's own write buffer.
+                access.mark_committed(self.sim.now, forwarded)
+                access.mark_globally_performed(self.sim.now)
+                return
+            self._send_request(access, MsgKind.MEM_READ)
+            return
+        if access.has_read and access.has_write:
+            self._send_request(access, MsgKind.MEM_RMW)
+            return
+        # Unbuffered write (write buffer disabled, or sync write).
+        self._send_request(access, MsgKind.MEM_WRITE)
+
+    # -- internals ---------------------------------------------------------
+
+    def _forwarded_value(self, location: Location) -> Optional[Value]:
+        """Newest buffered write to ``location``, if any (store forwarding)."""
+        for access in reversed(self._buffer):
+            if access.location == location:
+                return access.write_value
+        return None
+
+    def _send_request(self, access: AccessRecord, kind: MsgKind) -> None:
+        self._inflight[access.uid] = access
+        self.network.send(
+            Message(
+                kind,
+                src=self.node_id,
+                dst=self.memory_id,
+                location=access.location,
+                value=access.write_value,
+                is_sync=access.is_sync,
+                access_uid=access.uid,
+            )
+        )
+
+    def _schedule_drain(self) -> None:
+        if self._draining or not self._buffer:
+            return
+        self._draining = True
+        self.sim.after(self.drain_delay, self._drain_one)
+
+    def _drain_one(self) -> None:
+        self._draining = False
+        if not self._buffer:
+            return
+        access = self._buffer.popleft()
+        self._inflight[access.uid] = access
+        self.network.send(
+            Message(
+                MsgKind.MEM_WRITE,
+                src=self.node_id,
+                dst=self.memory_id,
+                location=access.location,
+                value=access.write_value,
+                is_sync=access.is_sync,
+                access_uid=access.uid,
+            )
+        )
+        self._schedule_drain()
+
+    def _on_message(self, message: Message) -> None:
+        access = self._inflight.pop(message.access_uid)
+        if message.kind is MsgKind.MEM_DATA:
+            access.mark_committed(self.sim.now, message.value)
+            access.mark_globally_performed(self.sim.now)
+        elif message.kind is MsgKind.MEM_WRITE_ACK:
+            if not access.committed:
+                access.mark_committed(self.sim.now)
+            access.mark_globally_performed(self.sim.now)
+        else:  # pragma: no cover - protocol is closed
+            raise SimulationError(f"port got {message.kind}")

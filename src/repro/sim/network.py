@@ -1,0 +1,115 @@
+"""Interconnects: the shared bus and the general interconnection network.
+
+These are the two interconnect families of the paper's Figure 1:
+
+* :class:`Bus` -- a single shared medium.  Transfers are serialized and
+  delivered in the order they were accepted, so the bus is a total-order,
+  FIFO transport (which is why a cacheless bus system needs a write buffer
+  or out-of-order issue to violate sequential consistency).
+* :class:`GeneralNetwork` -- point-to-point links with per-message latency
+  jitter and **no ordering guarantees**, even between the same endpoints
+  (which is why program-order issue alone cannot save sequential
+  consistency on such systems -- Lamport's observation, quoted in Figure 1).
+
+Both are deterministic given the seed: the network draws jitter from its
+own ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from repro.sim.events import SimulationError, Simulator
+from repro.sim.messages import Message
+
+#: Handler invoked when a message is delivered to a node.
+Handler = Callable[[Message], None]
+
+
+class Interconnect:
+    """Common endpoint registry for both interconnect types."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._handlers: Dict[str, Handler] = {}
+        self.messages_sent = 0
+
+    def attach(self, node_id: str, handler: Handler) -> None:
+        """Register ``node_id``; messages addressed to it invoke ``handler``."""
+        if node_id in self._handlers:
+            raise SimulationError(f"node {node_id!r} attached twice")
+        self._handlers[node_id] = handler
+
+    def send(self, message: Message) -> None:
+        """Accept a message for delivery (subclasses schedule it)."""
+        raise NotImplementedError
+
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.dst)
+        if handler is None:
+            raise SimulationError(f"message to unknown node {message.dst!r}")
+        handler(message)
+
+
+class Bus(Interconnect):
+    """Shared bus: serialized transfers, global FIFO delivery order.
+
+    Each transfer occupies the bus for ``latency`` cycles; a message
+    accepted while the bus is busy waits its turn.  Delivery order equals
+    acceptance order, system-wide.
+    """
+
+    def __init__(self, sim: Simulator, latency: int = 2) -> None:
+        super().__init__(sim)
+        if latency < 1:
+            raise SimulationError("bus latency must be >= 1")
+        self.latency = latency
+        self._free_at = 0
+
+    def send(self, message: Message) -> None:
+        """Arbitrate for the bus and schedule in-order delivery."""
+        start = max(self.sim.now, self._free_at)
+        done = start + self.latency
+        self._free_at = done
+        self.messages_sent += 1
+        self.sim.at(done, lambda: self._deliver(message))
+
+
+class GeneralNetwork(Interconnect):
+    """Point-to-point network with jittered latency and no ordering.
+
+    ``latency`` is the base propagation delay; each message adds uniform
+    jitter in ``[0, jitter]``, so two messages between the same endpoints
+    can arrive out of order -- unless ``fifo_per_pair`` is set, which
+    enforces per-(src, dst) FIFO delivery while keeping the jitter (useful
+    for ablations).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: int = 3,
+        jitter: int = 6,
+        seed: int = 0,
+        fifo_per_pair: bool = False,
+    ) -> None:
+        super().__init__(sim)
+        if latency < 1:
+            raise SimulationError("network latency must be >= 1")
+        self.latency = latency
+        self.jitter = max(0, jitter)
+        self.fifo_per_pair = fifo_per_pair
+        self._rng = random.Random(seed)
+        self._last_arrival: Dict[tuple, int] = {}
+
+    def send(self, message: Message) -> None:
+        """Schedule delivery after base latency plus per-message jitter."""
+        delay = self.latency + (self._rng.randint(0, self.jitter) if self.jitter else 0)
+        arrival = self.sim.now + delay
+        if self.fifo_per_pair:
+            pair = (message.src, message.dst)
+            arrival = max(arrival, self._last_arrival.get(pair, 0) + 1)
+            self._last_arrival[pair] = arrival
+        self.messages_sent += 1
+        self.sim.at(arrival, lambda: self._deliver(message))

@@ -1,0 +1,230 @@
+"""The processor front end: in-order issue with policy-controlled overlap.
+
+Each processor runs one thread of the program through the shared
+interpreter.  Local instructions cost ``local_cycle`` cycles each.  At a
+memory instruction the processor builds an :class:`AccessRecord` and:
+
+1. waits for the policy's **generation gate** (e.g. Definition 1's
+   "previous accesses globally performed" before a sync access);
+2. generates the access -- hands it to the memory port (cache controller or
+   cacheless port);
+3. blocks the thread per the required level: an access with a read
+   component always blocks until commit (its value feeds the program); the
+   policy can extend blocking to globally-performed (the SC baseline), or
+   let pure writes fly (weak orderings).
+
+Intra-processor dependencies (condition 1 of Section 5.1) hold by
+construction: the front end is in-order and an access's operands are
+evaluated when the request is formed.
+
+The processor records how many cycles it spent stalled at generation gates
+versus blocked waiting for values/completions -- the numbers behind the
+paper's Figure-3 analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.types import ProcId, Value
+from repro.machine.interpreter import (
+    DelayRequest,
+    FenceRequest,
+    MemRequest,
+    ThreadState,
+    complete,
+    consume_delay,
+    run_to_memory_op,
+)
+from repro.machine.program import ThreadCode
+from repro.sim.access import AccessRecord, BlockLevel
+from repro.sim.events import Simulator
+
+
+@dataclass
+class ProcessorStats:
+    """Per-processor timing breakdown."""
+
+    local_instructions: int = 0
+    accesses_generated: int = 0
+    gate_stall_cycles: int = 0
+    block_stall_cycles: int = 0
+    halt_time: Optional[int] = None
+
+    @property
+    def total_stall_cycles(self) -> int:
+        """Cycles spent not making architectural progress."""
+        return self.gate_stall_cycles + self.block_stall_cycles
+
+
+class Processor:
+    """One simulated processor driving one thread."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        proc_id: ProcId,
+        code: ThreadCode,
+        policy: "MemoryPolicy",
+        port,
+        uid_allocator: Callable[[], int],
+        on_halt: Callable[["Processor"], None],
+        local_cycle: int = 1,
+    ) -> None:
+        self.sim = sim
+        self.proc_id = proc_id
+        self.code = code
+        self.policy = policy
+        self.port = port
+        self._uid_allocator = uid_allocator
+        self._on_halt = on_halt
+        self.local_cycle = local_cycle
+
+        self.state = ThreadState()
+        self.halted = False
+        self.accesses: List[AccessRecord] = []
+        self.stats = ProcessorStats()
+        self.last_generated: Optional[AccessRecord] = None
+        self._current_request: Optional[MemRequest] = None
+        self._po_index = 0
+
+    # ------------------------------------------------------------------
+    # Policy-facing bookkeeping
+    # ------------------------------------------------------------------
+
+    def not_globally_performed(self) -> List[AccessRecord]:
+        """Generated accesses not yet globally performed, program order."""
+        return [
+            a for a in self.accesses if a.generated and not a.globally_performed
+        ]
+
+    def pending_syncs(self, level: BlockLevel) -> List[AccessRecord]:
+        """Sync accesses that have not reached ``level`` yet."""
+        if level is BlockLevel.COMMIT:
+            return [a for a in self.accesses if a.is_sync and not a.committed]
+        return [
+            a for a in self.accesses if a.is_sync and not a.globally_performed
+        ]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the first step at time 0."""
+        self.sim.at(0, self._resume)
+
+    def _resume(self) -> None:
+        pending, steps = run_to_memory_op(self.code, self.state)
+        self.stats.local_instructions += steps
+        delay = steps * self.local_cycle
+        if pending is None:
+            self.sim.after(delay, self._halt)
+        elif isinstance(pending, DelayRequest):
+            self.sim.after(delay + pending.cycles, self._finish_delay)
+        elif isinstance(pending, FenceRequest):
+            self.sim.after(delay, self._at_fence)
+        else:
+            self.sim.after(delay, lambda: self._at_memory_request(pending))
+
+    def _finish_delay(self) -> None:
+        consume_delay(self.state)
+        self._resume()
+
+    def _at_fence(self) -> None:
+        """RP3-style fence: wait until every prior access globally performs.
+
+        Fences are processor-level (policy-independent): they give a
+        relaxed machine explicit ordering points, exactly the RP3 option
+        Section 2.1 describes.
+        """
+        pending = self.not_globally_performed()
+        if not pending:
+            self._finish_delay()
+            return
+        fence_start = self.sim.now
+        remaining = {"count": len(pending)}
+
+        def one_done(_a: AccessRecord) -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                self.stats.gate_stall_cycles += self.sim.now - fence_start
+                self._finish_delay()
+
+        for access in pending:
+            access.on_globally_performed(one_done)
+
+    def _halt(self) -> None:
+        self.halted = True
+        self.stats.halt_time = self.sim.now
+        self._on_halt(self)
+
+    def _at_memory_request(self, request: MemRequest) -> None:
+        access = AccessRecord(
+            uid=self._uid_allocator(),
+            proc=self.proc_id,
+            po_index=self._po_index,
+            kind=request.kind,
+            location=request.location,
+            write_value=request.write_value,
+        )
+        self._po_index += 1
+        self._current_request = request
+        self._wait_for_gate(access)
+
+    def _wait_for_gate(self, access: AccessRecord) -> None:
+        gates = [
+            g for g in self.policy.generation_gate(self, access) if not g.satisfied
+        ]
+        if not gates:
+            self._generate(access)
+            return
+        gate_start = self.sim.now
+        remaining = {"count": len(gates)}
+
+        def one_done() -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                self.stats.gate_stall_cycles += self.sim.now - gate_start
+                self._generate(access)
+
+        for gate in gates:
+            gate.subscribe(one_done)
+
+    def _generate(self, access: AccessRecord) -> None:
+        access.mark_generated(self.sim.now)
+        self.accesses.append(access)
+        self.stats.accesses_generated += 1
+        self.last_generated = access
+        self.port.submit(access)
+
+        level = self.policy.block_level(access)
+        if access.has_read and level is BlockLevel.NONE:
+            level = BlockLevel.COMMIT
+        if level is BlockLevel.NONE:
+            self._finish_instruction(access)
+            return
+        block_start = self.sim.now
+
+        def unblock(_a: AccessRecord) -> None:
+            self.stats.block_stall_cycles += self.sim.now - block_start
+            self._finish_instruction(access)
+
+        if level is BlockLevel.COMMIT:
+            access.on_commit(unblock)
+        else:
+            access.on_globally_performed(unblock)
+
+    def _finish_instruction(self, access: AccessRecord) -> None:
+        request = self._current_request
+        self._current_request = None
+        value: Optional[Value] = access.value_read if access.has_read else None
+        complete(self.code, self.state, request, value)
+        self._resume()
+
+    # ------------------------------------------------------------------
+
+    def read_values_in_program_order(self) -> List[Value]:
+        """Values returned by this processor's read components, po order."""
+        return [a.value_read for a in self.accesses if a.has_read and a.committed]

@@ -1,0 +1,376 @@
+"""System assembly: the four Figure-1 configurations, run orchestration.
+
+:func:`run_on_hardware` builds one of the paper's hardware configurations
+(bus / general network, with / without caches), attaches a memory-system
+policy, runs a program to completion, and packages the observable
+:class:`~repro.core.execution.Result` together with timing statistics and
+the hardware execution trace (accesses in commit order) for verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from typing import TYPE_CHECKING
+
+from repro.core.execution import Execution, Result, final_memory_from_dict
+from repro.core.ops import Operation
+from repro.core.types import Location, Value
+from repro.machine.program import Program
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a cycle through repro.hw
+    from repro.hw.base import MemoryPolicy
+from repro.sim.cache import CacheController
+from repro.sim.directory import Directory
+from repro.sim.events import SimulationError, Simulator
+from repro.sim.memory import CachelessPort, MemoryModule
+from repro.sim.network import Bus, GeneralNetwork, Interconnect
+from repro.sim.processor import Processor, ProcessorStats
+from repro.sim.write_buffer import BufferedCachePort
+
+
+class SimulationDeadlock(SimulationError):
+    """The event queue drained before every thread halted."""
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Hardware configuration knobs.
+
+    Attributes:
+        topology: ``"bus"`` (total-order FIFO) or ``"network"`` (unordered,
+            jittered point-to-point) -- the two interconnects of Figure 1.
+        caches: Whether processors have coherent caches (directory protocol)
+            or talk straight to a memory module.
+        seed: Seed for the network's latency jitter (all nondeterminism).
+        bus_latency: Cycles per bus transfer.
+        net_latency / net_jitter: Base + uniform extra latency per message.
+        fifo_per_pair: Restore per-link FIFO on the general network
+            (ablation knob; off by default, as the paper assumes nothing).
+        mem_latency: Memory-module / directory service latency.
+        hit_latency: Cache hit latency.
+        local_cycle: Cycles per local (non-memory) instruction.
+        write_buffer: Enable the cacheless write buffer (reads bypass it).
+        wb_drain_delay: Cycles before a buffered write drains to the bus.
+        reserved_miss_limit: Section 5.3's bounded-miss window: while any
+            line is reserved, at most this many misses may be outstanding.
+        max_events: Runaway-simulation guard.
+    """
+
+    topology: str = "network"
+    caches: bool = True
+    #: Coherence substrate: ``"directory"`` (Section 5.2's protocol over the
+    #: configured interconnect) or ``"snoop"`` (the [RuS84]/[ArB86] atomic
+    #: snooping bus; implies a bus and caches; reserve bits are unnecessary
+    #: there -- condition 5 holds structurally, see sim/snoop.py).
+    coherence: str = "directory"
+    seed: int = 0
+    bus_latency: int = 2
+    net_latency: int = 3
+    net_jitter: int = 6
+    fifo_per_pair: bool = False
+    mem_latency: int = 4
+    hit_latency: int = 1
+    local_cycle: int = 1
+    write_buffer: bool = True
+    wb_drain_delay: int = 3
+    #: Cache capacity in lines (None = unbounded).  With a capacity, dirty
+    #: victims write back synchronously and reserved lines are never
+    #: evicted (misses needing such an eviction stall -- Section 5.3).
+    cache_capacity: Optional[int] = None
+    reserved_miss_limit: Optional[int] = None
+    #: Reserve-bit refusal variant: True = negative-ack and retry (deadlock
+    #: free, the default); False = queue at the owner until its counter
+    #: reads zero (the paper's primary description; can deadlock when two
+    #: processors synchronize on each other's reserved lines).
+    remote_sync_nack: bool = True
+    nack_retry_delay: int = 8
+    max_events: int = 50_000_000
+
+    def with_seed(self, seed: int) -> "SystemConfig":
+        """Copy of this config with a different nondeterminism seed."""
+        return replace(self, seed=seed)
+
+
+#: The four hardware configurations of the paper's Figure 1.
+FIGURE1_CONFIGS: Dict[str, SystemConfig] = {
+    "bus-no-cache": SystemConfig(topology="bus", caches=False),
+    "network-no-cache": SystemConfig(topology="network", caches=False),
+    "bus-cache": SystemConfig(topology="bus", caches=True),
+    "network-cache": SystemConfig(topology="network", caches=True),
+}
+
+
+@dataclass
+class MachineRun:
+    """Everything observable from one hardware run."""
+
+    program: Program
+    policy_name: str
+    config: SystemConfig
+    result: Result
+    execution: Execution
+    cycles: int
+    proc_stats: List[ProcessorStats]
+    messages_sent: int
+    #: Raw per-processor access records (program order), with their
+    #: generate/commit/globally-performed timestamps -- the evidence the
+    #: Section-5.1 condition monitor inspects.
+    raw_accesses: List[list] = field(default_factory=list)
+    #: Per-processor cache statistics: {"hits", "misses", "evictions",
+    #: "forwards_stalled"} (empty for cacheless systems).
+    cache_stats: List[Dict[str, int]] = field(default_factory=list)
+    #: Directory statistics: {"requests", "invalidations"} (cacheless: {}).
+    directory_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_stall_cycles(self) -> int:
+        """Sum of all processors' stall cycles."""
+        return sum(s.total_stall_cycles for s in self.proc_stats)
+
+
+def build_interconnect(sim: Simulator, config: SystemConfig) -> Interconnect:
+    """Instantiate the configured interconnect."""
+    if config.topology == "bus":
+        return Bus(sim, latency=config.bus_latency)
+    if config.topology == "network":
+        return GeneralNetwork(
+            sim,
+            latency=config.net_latency,
+            jitter=config.net_jitter,
+            seed=config.seed,
+            fifo_per_pair=config.fifo_per_pair,
+        )
+    raise ValueError(f"unknown topology {config.topology!r}")
+
+
+def run_on_hardware(
+    program: Program,
+    policy: "MemoryPolicy",
+    config: Optional[SystemConfig] = None,
+) -> MachineRun:
+    """Run ``program`` on the configured hardware under ``policy``."""
+    config = config or SystemConfig()
+    if policy.requires_caches and not config.caches:
+        raise ValueError(
+            f"policy {policy.name!r} needs the cache-coherent substrate"
+        )
+
+    sim = Simulator()
+    directory = None
+    memory_module: Optional[MemoryModule] = None
+    caches: List = []
+    ports: List[object] = []
+
+    if config.coherence == "snoop":
+        if not config.caches:
+            raise ValueError("the snooping substrate requires caches")
+        from repro.sim.snoop import SnoopBus, SnoopyCache
+
+        bus = SnoopBus(
+            sim, dict(program.initial_memory), latency=config.bus_latency
+        )
+        network = bus          # provides messages_sent
+        directory = bus        # provides final_value / stats parity
+        for proc in range(program.num_procs):
+            cache = SnoopyCache(
+                sim,
+                bus,
+                node_id=f"proc{proc}",
+                hit_latency=config.hit_latency,
+                drf1_optimized=policy.drf1_optimized,
+            )
+            caches.append(cache)
+            if policy.buffers_cache_writes and config.write_buffer:
+                ports.append(
+                    BufferedCachePort(sim, cache, drain_delay=config.wb_drain_delay)
+                )
+            else:
+                ports.append(cache)
+        return _run_processors(
+            program, policy, config, sim, network, ports,
+            directory, memory_module, caches,
+        )
+
+    network = build_interconnect(sim, config)
+
+    if config.caches:
+        directory = Directory(
+            sim, network, "dir", dict(program.initial_memory), latency=config.mem_latency
+        )
+        for proc in range(program.num_procs):
+            cache = CacheController(
+                sim,
+                network,
+                node_id=f"proc{proc}",
+                directory_id="dir",
+                hit_latency=config.hit_latency,
+                use_reserve_bits=policy.use_reserve_bits,
+                drf1_optimized=policy.drf1_optimized,
+                reserved_miss_limit=config.reserved_miss_limit,
+                sync_nack=config.remote_sync_nack,
+                nack_retry_delay=config.nack_retry_delay,
+                capacity=config.cache_capacity,
+            )
+            caches.append(cache)
+            if policy.buffers_cache_writes and config.write_buffer:
+                ports.append(
+                    BufferedCachePort(sim, cache, drain_delay=config.wb_drain_delay)
+                )
+            else:
+                ports.append(cache)
+    else:
+        memory_module = MemoryModule(
+            sim, network, "mem", dict(program.initial_memory), latency=config.mem_latency
+        )
+        for proc in range(program.num_procs):
+            ports.append(
+                CachelessPort(
+                    sim,
+                    network,
+                    node_id=f"proc{proc}",
+                    memory_id="mem",
+                    write_buffer=config.write_buffer,
+                    drain_delay=config.wb_drain_delay,
+                )
+            )
+
+    return _run_processors(
+        program, policy, config, sim, network, ports,
+        directory, memory_module, caches,
+    )
+
+
+def _run_processors(
+    program: Program,
+    policy: "MemoryPolicy",
+    config: SystemConfig,
+    sim: Simulator,
+    network,
+    ports: Sequence[object],
+    directory,
+    memory_module: Optional[MemoryModule],
+    caches: Sequence[object],
+) -> MachineRun:
+    """Start one processor per thread, run to quiescence, package the run."""
+    uid_counter = {"next": 0}
+
+    def allocate_uid() -> int:
+        uid = uid_counter["next"]
+        uid_counter["next"] += 1
+        return uid
+
+    halted = {"count": 0}
+
+    def on_halt(_proc: Processor) -> None:
+        halted["count"] += 1
+
+    processors: List[Processor] = []
+    for proc in range(program.num_procs):
+        processor = Processor(
+            sim,
+            proc,
+            program.threads[proc],
+            policy,
+            ports[proc],
+            allocate_uid,
+            on_halt,
+            local_cycle=config.local_cycle,
+        )
+        processors.append(processor)
+        processor.start()
+
+    sim.run(max_events=config.max_events)
+
+    if halted["count"] != program.num_procs:
+        stuck = [p.proc_id for p in processors if not p.halted]
+        raise SimulationDeadlock(
+            f"processors {stuck} never halted (program {program.name!r}, "
+            f"policy {policy.name!r}, seed {config.seed})"
+        )
+
+    return _package_run(program, policy, config, sim, network, processors,
+                        directory, memory_module, caches)
+
+
+def _package_run(
+    program: Program,
+    policy: "MemoryPolicy",
+    config: SystemConfig,
+    sim: Simulator,
+    network: Interconnect,
+    processors: Sequence[Processor],
+    directory: Optional[Directory],
+    memory_module: Optional[MemoryModule],
+    caches: Sequence[CacheController],
+) -> MachineRun:
+    final_memory: Dict[Location, Value] = {}
+    for location in program.initial_memory:
+        if directory is not None:
+            final_memory[location] = directory.final_value(location, caches)
+        else:
+            final_memory[location] = memory_module.values[location]
+
+    reads = [p.read_values_in_program_order() for p in processors]
+    result = Result.build(reads, final_memory)
+
+    committed = sorted(
+        (a for p in processors for a in p.accesses if a.committed),
+        key=lambda a: (a.commit_time, a.uid),
+    )
+    ops = tuple(
+        Operation(
+            uid=index,
+            proc=access.proc,
+            po_index=access.po_index,
+            kind=access.kind,
+            location=access.location,
+            value_read=access.value_read,
+            value_written=access.write_value if access.has_write else None,
+        )
+        for index, access in enumerate(committed)
+    )
+    execution = Execution(program, ops, final_memory_from_dict(final_memory))
+
+    return MachineRun(
+        program=program,
+        policy_name=policy.name,
+        config=config,
+        result=result,
+        execution=execution,
+        cycles=sim.now,
+        proc_stats=[p.stats for p in processors],
+        messages_sent=network.messages_sent,
+        raw_accesses=[list(p.accesses) for p in processors],
+        cache_stats=[
+            {
+                "hits": c.hits,
+                "misses": c.misses,
+                "evictions": c.evictions,
+                "forwards_stalled": c.forwards_stalled,
+            }
+            for c in caches
+        ],
+        directory_stats=(
+            {
+                "requests": directory.requests_served,
+                "invalidations": directory.invalidations_sent,
+            }
+            if directory is not None
+            else {}
+        ),
+    )
+
+
+def run_seed_sweep(
+    program: Program,
+    policy_factory,
+    config: SystemConfig,
+    seeds: Sequence[int],
+) -> List[MachineRun]:
+    """Run the program across many nondeterminism seeds (fresh policy each)."""
+    return [
+        run_on_hardware(program, policy_factory(), config.with_seed(seed))
+        for seed in seeds
+    ]

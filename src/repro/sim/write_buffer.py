@@ -1,0 +1,72 @@
+"""A processor-side write buffer in front of the cache controller.
+
+Figure 1 notes that a bus-based cache-coherent system violates sequential
+consistency "if the accesses of a processor are issued out-of-order, or if
+reads are allowed to pass writes in write buffers": the FIFO bus otherwise
+serializes the miss requests in issue order.  This component provides that
+read-passes-write behaviour for the cache substrate: data writes are
+delayed in a FIFO buffer before reaching the cache, while reads bypass the
+buffer (with store-to-load forwarding for the processor's own buffered
+writes, preserving uniprocessor semantics).
+
+Only the :class:`~repro.hw.relaxed.RelaxedPolicy` strawman uses this
+(``buffers_cache_writes``); the weakly ordered implementations get their
+overlap from non-blocking writes at the cache, which keeps the paper's
+counter/reserve-bit bookkeeping exact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.core.types import Location, OpKind, Value
+from repro.sim.access import AccessRecord
+from repro.sim.cache import CacheController
+from repro.sim.events import Simulator
+
+
+class BufferedCachePort:
+    """FIFO write buffer that reads may bypass, draining into a cache."""
+
+    def __init__(
+        self, sim: Simulator, cache: CacheController, drain_delay: int = 3
+    ) -> None:
+        self.sim = sim
+        self.cache = cache
+        self.drain_delay = drain_delay
+        self._buffer: Deque[AccessRecord] = deque()
+        self._draining = False
+
+    def submit(self, access: AccessRecord) -> None:
+        """Accept a generated access; buffer data writes, bypass the rest."""
+        if access.kind is OpKind.DATA_WRITE:
+            self._buffer.append(access)
+            self._schedule_drain()
+            return
+        if access.has_read and not access.has_write:
+            forwarded = self._forwarded_value(access.location)
+            if forwarded is not None:
+                access.mark_committed(self.sim.now, forwarded)
+                access.mark_globally_performed(self.sim.now)
+                return
+        self.cache.submit(access)
+
+    def _forwarded_value(self, location: Location) -> Optional[Value]:
+        for access in reversed(self._buffer):
+            if access.location == location:
+                return access.write_value
+        return None
+
+    def _schedule_drain(self) -> None:
+        if self._draining or not self._buffer:
+            return
+        self._draining = True
+        self.sim.after(self.drain_delay, self._drain_one)
+
+    def _drain_one(self) -> None:
+        self._draining = False
+        if not self._buffer:
+            return
+        self.cache.submit(self._buffer.popleft())
+        self._schedule_drain()

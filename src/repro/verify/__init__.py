@@ -1,0 +1,21 @@
+"""Verification harnesses: contract sweeps and the Section-5.1 monitor."""
+
+from repro.verify.conditions import ConditionReport, check_conditions
+from repro.verify.fuzz import FuzzReport, fuzz
+from repro.verify.sweeps import (
+    Definition2Evidence,
+    SweepReport,
+    contract_sweep,
+    definition2_sweep,
+)
+
+__all__ = [
+    "ConditionReport",
+    "Definition2Evidence",
+    "FuzzReport",
+    "SweepReport",
+    "check_conditions",
+    "contract_sweep",
+    "definition2_sweep",
+    "fuzz",
+]

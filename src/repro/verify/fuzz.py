@@ -1,0 +1,116 @@
+"""End-to-end fuzzing: random programs against the whole stack.
+
+Three oracles run on every random program:
+
+1. **SC hardware is SC for everything** -- every result the SC policy
+   produces (any substrate) must pass the exact membership oracle; no
+   DRF0 precondition is needed, so arbitrary racy programs are fair game.
+2. **Cross-checker agreement** -- the axiomatic SC model, the naive
+   enumerator, and DPOR must agree on the program's SC result set.
+3. **Liveness everywhere** -- every policy/substrate combination must run
+   the program to completion with all writes globally performed.
+
+This is the library testing itself: a disagreement pinpoints a bug in one
+of the independent components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.axiomatic import SCModel, allowed_results
+from repro.core.contract import is_sc_result
+from repro.core.dpor import sc_results_dpor
+from repro.core.sc import sc_results
+from repro.hw import (
+    AdveHillPolicy,
+    Definition1Policy,
+    ReleaseConsistencyPolicy,
+    SCPolicy,
+)
+from repro.machine.generator import GeneratorConfig, random_program
+from repro.sim.system import SystemConfig, run_on_hardware
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzz campaign."""
+
+    programs_run: int = 0
+    hardware_runs: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no oracle disagreed."""
+        return not self.failures
+
+
+#: The hardware matrix each fuzz program runs on.
+_FUZZ_CONFIGS = [
+    SystemConfig(),
+    SystemConfig(topology="bus"),
+    SystemConfig(caches=False),
+    SystemConfig(coherence="snoop", topology="bus"),
+    SystemConfig(cache_capacity=2),
+]
+
+_LIVENESS_POLICIES = [
+    Definition1Policy,
+    AdveHillPolicy,
+    ReleaseConsistencyPolicy,
+]
+
+
+def fuzz(
+    seeds: Sequence[int],
+    generator: Optional[GeneratorConfig] = None,
+    hardware_seeds: Sequence[int] = range(3),
+    check_cross_enumerators: bool = True,
+) -> FuzzReport:
+    """Run the fuzz oracles over one random program per seed."""
+    report = FuzzReport()
+    for seed in seeds:
+        program = random_program(seed, generator)
+        report.programs_run += 1
+
+        if check_cross_enumerators:
+            reference = sc_results(program)
+            if allowed_results(program, SCModel()) != reference:
+                report.failures.append(
+                    f"seed {seed}: axiomatic SC disagrees with enumerator"
+                )
+            if sc_results_dpor(program) != reference:
+                report.failures.append(
+                    f"seed {seed}: DPOR disagrees with enumerator"
+                )
+
+        for config_index, config in enumerate(_FUZZ_CONFIGS):
+            if config.coherence == "snoop" and not config.caches:
+                continue
+            for hw_seed in hardware_seeds:
+                cfg = config.with_seed(hw_seed)
+                run = run_on_hardware(program, SCPolicy(), cfg)
+                report.hardware_runs += 1
+                if not is_sc_result(program, run.result):
+                    report.failures.append(
+                        f"seed {seed} config {config_index} hw-seed {hw_seed}: "
+                        f"SC hardware produced non-SC result {run.result}"
+                    )
+            for factory in _LIVENESS_POLICIES:
+                if factory().requires_caches and not config.caches:
+                    continue
+                run = run_on_hardware(
+                    program, factory(), config.with_seed(hardware_seeds[0])
+                )
+                report.hardware_runs += 1
+                for per_proc in run.raw_accesses:
+                    if not all(
+                        a.globally_performed for a in per_proc if a.has_write
+                    ):
+                        report.failures.append(
+                            f"seed {seed}: {factory().name} left a write "
+                            "not globally performed"
+                        )
+    return report

@@ -1,0 +1,108 @@
+"""Barrier workloads: lock-protected count plus a sense flag.
+
+A centralized sense-reversing barrier built from the library's primitives:
+the arrival count is a plain data location protected by a TestAndSet lock;
+the *sense* is flipped by the last arriver with a write-only
+synchronization operation, and everyone else spins on it with read-only
+synchronization.  The whole construction is DRF0-clean -- a higher-level
+synchronization operation built from the hardware primitives, exactly as
+Section 4 envisions ("a programmer is free to build and use higher level,
+more complex synchronization operations").
+
+The data-parallel phase workload uses the barrier the way the paper's
+intro motivates: frequent data accesses between infrequent
+synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.types import Condition
+from repro.machine.dsl import ThreadBuilder
+from repro.machine.dsl import build_program
+from repro.machine.program import Program
+
+
+def _barrier(
+    t: ThreadBuilder,
+    phase: int,
+    num_procs: int,
+    count_loc: str = None,
+    sense_loc: str = None,
+) -> ThreadBuilder:
+    """Emit one barrier episode into thread builder ``t``."""
+    count = count_loc or f"bcount{phase}"
+    sense = sense_loc or f"bsense{phase}"
+    lock = f"block{phase}"
+    t.acquire(lock, scratch=f"bt{phase}")
+    t.load(f"bc{phase}", count)
+    t.add(f"bc{phase}", f"bc{phase}", 1)
+    t.store(count, f"bc{phase}")
+    t.release(lock)
+    # Last arriver releases the sense; others spin on it.
+    t.branch_if(Condition.NE, f"bc{phase}", num_procs, f"bspin{phase}")
+    t.unset(sense)
+    t.jump(f"bdone{phase}")
+    t.label(f"bspin{phase}")
+    t.label(f"bwait{phase}")
+    t.sync_load(f"bs{phase}", sense)
+    t.branch_if(Condition.NE, f"bs{phase}", 0, f"bwait{phase}")
+    t.label(f"bdone{phase}")
+    return t
+
+
+def barrier_workload(num_procs: int = 4, phases: int = 2) -> Program:
+    """``phases`` consecutive barriers with nothing between them.
+
+    Pure synchronization cost: each phase uses a fresh count/sense pair
+    (centralized barriers are single-use without sense reversal, and fresh
+    locations keep every phase DRF0-clean).
+    """
+    threads = [ThreadBuilder() for _ in range(num_procs)]
+    initial = {}
+    for phase in range(phases):
+        initial[f"bsense{phase}"] = 1
+        for t in threads:
+            _barrier(t, phase, num_procs)
+    return build_program(
+        threads, initial_memory=initial, name=f"barrier-p{num_procs}x{phases}"
+    )
+
+
+def phase_parallel_workload(
+    num_procs: int = 4, chunk: int = 4, phases: int = 2
+) -> Program:
+    """Data-parallel phases separated by barriers.
+
+    In each phase, processor ``p`` writes its own chunk of locations
+    (``a{phase}_{p}_{i}``), crosses a barrier, then reads its right
+    neighbour's chunk from the phase -- the classic bulk-synchronous
+    pattern.  Data accesses dominate; synchronization is rare.
+    """
+    threads = [ThreadBuilder() for _ in range(num_procs)]
+    initial = {}
+    for phase in range(phases):
+        initial[f"bsense{phase}"] = 1
+        for p, t in enumerate(threads):
+            for i in range(chunk):
+                t.store(f"a{phase}_{p}_{i}", phase * 100 + p * 10 + i)
+        for t in threads:
+            _barrier(t, phase, num_procs)
+        for p, t in enumerate(threads):
+            neighbour = (p + 1) % num_procs
+            for i in range(chunk):
+                t.load(f"n{phase}_{i}", f"a{phase}_{neighbour}_{i}")
+    return build_program(
+        threads,
+        initial_memory=initial,
+        name=f"phases-p{num_procs}c{chunk}x{phases}",
+    )
+
+
+def expected_neighbour_values(
+    num_procs: int, chunk: int, phase: int, proc: int
+) -> List[int]:
+    """Values processor ``proc`` must read from its neighbour in ``phase``."""
+    neighbour = (proc + 1) % num_procs
+    return [phase * 100 + neighbour * 10 + i for i in range(chunk)]

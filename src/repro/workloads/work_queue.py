@@ -1,0 +1,118 @@
+"""A lock-protected work queue: the paper's "monitor" paradigm.
+
+Section 7 suggests synchronization models "optimized for particular
+software paradigms, such as sharing only through monitors".  This workload
+is the monitor archetype: one producer pushes items into a shared queue
+and consumers pop them, with *all* shared state (head, tail, the slots)
+touched only inside one lock -- plus a write-only-sync ``done`` flag the
+producer raises after its last push.
+
+Everything is DRF0 by construction (monitor discipline implies
+happens-before ordering through the lock's TestAndSet/Unset pairs), so by
+Definition 2 every implementation must deliver exactly-once consumption:
+the consumers' private tallies must sum to the sum of all items.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.types import Condition
+from repro.machine.dsl import ThreadBuilder, build_program
+from repro.machine.program import Program
+
+
+def item_value(index: int) -> int:
+    """The value pushed as item ``index`` (distinct, nonzero)."""
+    return index + 1
+
+
+def expected_total(num_items: int) -> int:
+    """Sum every consumer tally must collectively reach."""
+    return sum(item_value(i) for i in range(num_items))
+
+
+def work_queue_workload(
+    num_consumers: int = 2, num_items: int = 4
+) -> Program:
+    """One producer, ``num_consumers`` consumers, a ``num_items`` queue.
+
+    Locations: ``slot{i}`` (queue storage), ``head``/``tail`` (cursors,
+    lock-protected), ``qlock`` (TestAndSet lock), ``done`` (write-only
+    sync flag), ``tally{c}`` (per-consumer private sum).
+    """
+    producer = ThreadBuilder()
+    for index in range(num_items):
+        producer.acquire("qlock", scratch="pt")
+        producer.load("t", "tail")
+        # slots are addressed by the tail cursor; with a single producer the
+        # cursor simply walks 0..num_items-1, so the slot name is static.
+        producer.store(f"slot{index}", item_value(index))
+        producer.add("t", "t", 1)
+        producer.store("tail", "t")
+        producer.release("qlock")
+    producer.unset("done")
+
+    consumers: List[ThreadBuilder] = []
+    for consumer_index in range(num_consumers):
+        t = ThreadBuilder()
+        t.mov("sum", 0)
+        t.label("loop")
+        t.acquire("qlock", scratch="ct")
+        t.load("h", "head")
+        t.load("t", "tail")
+        t.branch_if(Condition.GE, "h", "t", "empty")
+        # pop: read slot[h] via a computed dispatch over the static slots
+        for index in range(num_items):
+            t.branch_if(Condition.NE, "h", index, f"not{index}")
+            t.load("item", f"slot{index}")
+            t.jump(f"got")
+            t.label(f"not{index}")
+        t.mov("item", 0)  # unreachable: h < tail <= num_items
+        t.label("got")
+        t.add("h", "h", 1)
+        t.store("head", "h")
+        t.release("qlock")
+        t.add("sum", "sum", "item")
+        t.store(f"tally{consumer_index}", "sum")
+        t.jump("loop")
+        t.label("empty")
+        t.release("qlock")
+        # queue empty: if the producer is done, exit; otherwise retry
+        t.sync_load("d", "done")
+        t.branch_if(Condition.NE, "d", 0, "loop")
+        # one final sweep: items may have been pushed before `done` flipped
+        t.label("drain")
+        t.acquire("qlock", scratch="ct2")
+        t.load("h", "head")
+        t.load("t", "tail")
+        t.branch_if(Condition.GE, "h", "t", "finished")
+        for index in range(num_items):
+            t.branch_if(Condition.NE, "h", index, f"dnot{index}")
+            t.load("item", f"slot{index}")
+            t.jump("dgot")
+            t.label(f"dnot{index}")
+        t.mov("item", 0)
+        t.label("dgot")
+        t.add("h", "h", 1)
+        t.store("head", "h")
+        t.release("qlock")
+        t.add("sum", "sum", "item")
+        t.store(f"tally{consumer_index}", "sum")
+        t.jump("drain")
+        t.label("finished")
+        t.release("qlock")
+        consumers.append(t)
+
+    return build_program(
+        [producer, *consumers],
+        initial_memory={"qlock": 0, "done": 1},
+        name=f"workqueue-c{num_consumers}i{num_items}",
+    )
+
+
+def consumed_total(result, num_consumers: int) -> int:
+    """Sum of the consumers' final tallies in a run result."""
+    return sum(
+        result.memory_value(f"tally{c}") for c in range(num_consumers)
+    )

@@ -1,0 +1,108 @@
+"""Negative hardware tests: sabotaged implementations must break the contract.
+
+These are the mutation tests of the hardware side: each removes one
+mechanism the paper's correctness argument needs and pins a seed where the
+contract checker catches the resulting non-SC behaviour.  They double as
+regression tests for the checker's sensitivity (if a protocol change makes
+the violation unreachable, these tests say so).
+"""
+
+import pytest
+
+from repro.core.contract import is_sc_result
+from repro.hw import AdveHillPolicy, Definition1Policy
+from repro.litmus.figures import figure3_program
+from repro.sim.system import SystemConfig, run_on_hardware
+
+JITTERY = dict(net_latency=1, net_jitter=60)
+#: Seeds where the no-reserve-bit bug manifests with JITTERY timing
+#: (found by sweep; deterministic given the config).
+WITNESS_SEEDS = [60, 104, 113, 134, 186, 198, 234, 288]
+
+
+class NoReserveBits(AdveHillPolicy):
+    use_reserve_bits = False
+    name = "no-reserve-bits"
+
+
+class TestReserveBitMutation:
+    def test_known_seed_violates_contract(self):
+        program = figure3_program()
+        run = run_on_hardware(
+            program, NoReserveBits(), SystemConfig(seed=WITNESS_SEEDS[0], **JITTERY)
+        )
+        assert not is_sc_result(program, run.result)
+
+    def test_correct_implementation_clean_on_witness_seeds(self):
+        program = figure3_program()
+        for seed in WITNESS_SEEDS:
+            run = run_on_hardware(
+                program, AdveHillPolicy(), SystemConfig(seed=seed, **JITTERY)
+            )
+            assert is_sc_result(program, run.result), seed
+
+    def test_definition1_also_clean_on_witness_seeds(self):
+        program = figure3_program()
+        for seed in WITNESS_SEEDS[:4]:
+            run = run_on_hardware(
+                program, Definition1Policy(), SystemConfig(seed=seed, **JITTERY)
+            )
+            assert is_sc_result(program, run.result), seed
+
+    def test_violation_rate_is_nonzero_but_low(self):
+        """The bug's narrow window: some seeds catch it, most do not --
+        the motivation for sweep-based contract checking."""
+        program = figure3_program()
+        violations = 0
+        for seed in range(120):
+            run = run_on_hardware(
+                program, NoReserveBits(), SystemConfig(seed=seed, **JITTERY)
+            )
+            if not is_sc_result(program, run.result):
+                violations += 1
+        assert 0 < violations < 60
+
+
+class TestStallVariantDeadlock:
+    """The E8a reproduction finding as a pinned regression test."""
+
+    def test_cross_reservation_deadlocks_in_stall_mode(self):
+        from repro.core.types import Condition
+        from repro.machine.dsl import ThreadBuilder, build_program
+        from repro.sim.system import SimulationDeadlock
+
+        warm_a = ThreadBuilder().load("w", "b").unset("ga")
+        warm_b = ThreadBuilder().load("w", "a").unset("gb")
+        p0 = (
+            ThreadBuilder()
+            .label("g").test_and_set("rg", "ga")
+            .branch_if(Condition.NE, "rg", 0, "g")
+            .store("a", 1).unset("s").test_and_set("r0", "t")
+        )
+        p1 = (
+            ThreadBuilder()
+            .label("g").test_and_set("rg", "gb")
+            .branch_if(Condition.NE, "rg", 0, "g")
+            .store("b", 1).unset("t").test_and_set("r1", "s")
+        )
+        program = build_program(
+            [p0, p1, warm_a, warm_b],
+            initial_memory={"ga": 1, "gb": 1, "s": 1, "t": 1},
+            name="cross-sync",
+        )
+        deadlocks = 0
+        for seed in range(10):
+            config = SystemConfig(
+                seed=seed, net_latency=5, net_jitter=10, remote_sync_nack=False
+            )
+            try:
+                run_on_hardware(program, AdveHillPolicy(), config)
+            except SimulationDeadlock:
+                deadlocks += 1
+        assert deadlocks > 0  # the stall variant really deadlocks
+
+        # and the NACK default never does, with SC results throughout
+        for seed in range(10):
+            config = SystemConfig(seed=seed, net_latency=5, net_jitter=10)
+            run = run_on_hardware(program, AdveHillPolicy(), config)
+            assert is_sc_result(program, run.result)

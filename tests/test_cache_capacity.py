@@ -1,0 +1,124 @@
+"""Tests for finite cache capacity: evictions, write-backs, reserve stalls."""
+
+import pytest
+
+from repro.core.contract import is_sc_result
+from repro.core.types import OpKind
+from repro.hw import AdveHillPolicy, Definition1Policy, SCPolicy
+from repro.machine.dsl import ThreadBuilder, build_program
+from repro.sim.cache import LineState
+from repro.sim.system import SystemConfig, run_on_hardware
+
+from helpers import lock_increment_program, message_passing_program
+
+
+def single_thread_program(locations, repeat=1):
+    t = ThreadBuilder()
+    for _ in range(repeat):
+        for i, loc in enumerate(locations):
+            t.store(loc, i + 1)
+        for loc in locations:
+            t.load(f"r_{loc}", loc)
+    return build_program([t], name="walker")
+
+
+class TestEvictionMechanics:
+    def test_working_set_larger_than_cache_still_correct(self):
+        program = single_thread_program(["a", "b", "c", "d"], repeat=2)
+        run = run_on_hardware(
+            program, SCPolicy(), SystemConfig(seed=0, cache_capacity=2)
+        )
+        # every load sees the stored value
+        assert run.result.reads[0] == (1, 2, 3, 4, 1, 2, 3, 4)
+
+    def test_dirty_eviction_writes_back_to_memory(self):
+        program = single_thread_program(["a", "b", "c"])
+        run = run_on_hardware(
+            program, SCPolicy(), SystemConfig(seed=0, cache_capacity=1)
+        )
+        assert run.result.memory_value("a") == 1
+        assert run.result.memory_value("b") == 2
+
+    def test_capacity_one_forces_evictions(self):
+        program = single_thread_program(["a", "b", "c"])
+        run = run_on_hardware(
+            program, SCPolicy(), SystemConfig(seed=0, cache_capacity=1)
+        )
+        bigger = run_on_hardware(
+            program, SCPolicy(), SystemConfig(seed=0, cache_capacity=8)
+        )
+        assert run.cycles > bigger.cycles  # write-backs cost time
+
+    def test_unbounded_default_never_evicts(self):
+        program = single_thread_program(["a", "b", "c", "d", "e"])
+        run = run_on_hardware(program, SCPolicy(), SystemConfig(seed=0))
+        assert run.cycles > 0  # and no SimulationError from eviction paths
+
+
+class TestCapacityContract:
+    """The contract must survive evictions under every policy."""
+
+    @pytest.mark.parametrize("capacity", [1, 2, 3])
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [SCPolicy, Definition1Policy, AdveHillPolicy,
+         lambda: AdveHillPolicy(drf1_optimized=True)],
+    )
+    def test_lock_program_appears_sc_with_tiny_cache(
+        self, capacity, policy_factory
+    ):
+        program = lock_increment_program(2)
+        for seed in range(6):
+            run = run_on_hardware(
+                program,
+                policy_factory(),
+                SystemConfig(seed=seed, cache_capacity=capacity),
+            )
+            assert run.result.memory_value("count") == 2
+            assert is_sc_result(program, run.result)
+
+    @pytest.mark.parametrize("capacity", [1, 2])
+    def test_mp_sync_appears_sc_with_tiny_cache(self, capacity):
+        program = message_passing_program(sync=True)
+        for seed in range(8):
+            run = run_on_hardware(
+                program,
+                AdveHillPolicy(),
+                SystemConfig(seed=seed, cache_capacity=capacity),
+            )
+            assert is_sc_result(program, run.result)
+
+    def test_reserved_line_never_evicted(self):
+        """Fill the cache while a line is reserved; the reserved line must
+        survive (the paper: it is never flushed)."""
+        # P0: warm d at P1 so the write to d is slow; sync on s sets the
+        # reserve; then touch many other lines to pressure capacity.
+        p0 = (
+            ThreadBuilder()
+            .store("d", 1)
+            .unset("s")
+            .store("e0", 1)
+            .store("e1", 1)
+            .store("e2", 1)
+        )
+        from repro.core.types import Condition
+
+        p1 = (
+            ThreadBuilder()
+            .load("w", "d")
+            .label("spin")
+            .sync_load("r", "s")
+            .branch_if(Condition.NE, "r", 0, "spin")
+            .load("v", "d")
+        )
+        program = build_program(
+            [p0, p1], initial_memory={"s": 1}, name="reserve-pressure"
+        )
+        for seed in range(10):
+            run = run_on_hardware(
+                program,
+                AdveHillPolicy(),
+                SystemConfig(seed=seed, cache_capacity=2),
+            )
+            assert run.result.reads[1][-1] == 1  # v = d = 1 after the flag
+            assert is_sc_result(program, run.result)

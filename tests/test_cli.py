@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCatalogCommand:
+    def test_catalog_lists_tests_and_workloads(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "SB" in out and "MP+sync" in out
+        assert "barrier" in out and "prodcons" in out
+
+
+class TestDrf0Command:
+    def test_racy_program_exits_nonzero(self, capsys):
+        assert main(["drf0", "SB"]) == 1
+        out = capsys.readouterr().out
+        assert "violates DRF0" in out
+        assert "race" in out
+
+    def test_clean_program_exits_zero(self, capsys):
+        assert main(["drf0", "MP+sync"]) == 0
+        assert "obeys DRF0" in capsys.readouterr().out
+
+    def test_witness_flag_prints_execution(self, capsys):
+        main(["drf0", "SB", "--witness"])
+        out = capsys.readouterr().out
+        assert "witnessing idealized execution" in out
+
+    def test_sampled_mode(self, capsys):
+        assert main(["drf0", "lock", "--sampled", "--seeds", "5"]) == 0
+        assert "sampled" in capsys.readouterr().out
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["drf0", "not-a-program"])
+
+
+class TestModelsCommand:
+    def test_table_shape(self, capsys):
+        assert main(["models", "SB", "MP"]) == 0
+        out = capsys.readouterr().out
+        assert "SC" in out and "TSO" in out and "WO-DRF0" in out
+        # SB: TSO admits, SC does not
+        sb_line = next(l for l in out.splitlines() if l.startswith("SB"))
+        assert "no" in sb_line and "yes" in sb_line
+
+    def test_unsupported_program_shows_dash(self, capsys):
+        main(["models", "MP+sync"])
+        line = next(
+            l for l in capsys.readouterr().out.splitlines()
+            if l.startswith("MP+sync")
+        )
+        assert "-" in line
+
+
+class TestSimulateCommand:
+    def test_simulate_reports_cycles_and_verdict(self, capsys):
+        assert main(["simulate", "TAS", "--policy", "adve-hill"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "appears SC: True" in out
+
+    def test_simulate_workload_names(self, capsys):
+        assert main(["simulate", "prodcons", "--policy", "sc"]) == 0
+        assert "appears SC: True" in capsys.readouterr().out
+
+    def test_cacheless_run(self, capsys):
+        assert main(["simulate", "SB", "--policy", "sc", "--no-caches"]) == 0
+
+    def test_capacity_option(self, capsys):
+        assert main(["simulate", "lock", "--capacity", "2"]) == 0
+        assert "appears SC: True" in capsys.readouterr().out
+
+
+class TestLitmusCommand:
+    def test_contract_ok_for_weak_hardware(self, capsys):
+        code = main(
+            ["litmus", "TAS", "MP+sync", "--policy", "adve-hill", "--seeds", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "VIOLATED" not in out
+
+    def test_relaxed_hardware_on_racy_test_is_not_a_violation(self, capsys):
+        code = main(["litmus", "SB", "--policy", "relaxed", "--seeds", "25"])
+        assert code == 0  # racy program: Definition 2 not violated
+        assert "observed" in capsys.readouterr().out
+
+
+class TestDelaysCommand:
+    def test_delay_pairs_printed(self, capsys):
+        assert main(["delays", "SB"]) == 0
+        out = capsys.readouterr().out
+        assert "2 delay pair(s)" in out
+
+    def test_no_delays_needed(self, capsys):
+        assert main(["delays", "disjoint"]) == 0
+        assert "no delay pairs" in capsys.readouterr().out
+
+    def test_branchy_program_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["delays", "MP+sync"])

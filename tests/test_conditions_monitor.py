@@ -1,0 +1,150 @@
+"""Unit tests for the Section-5.1 condition monitor with synthetic runs.
+
+The integration tests check the monitor against real simulator runs; these
+construct hand-crafted access timelines to verify each condition fires on
+exactly the violation it describes.
+"""
+
+from repro.core.types import OpKind
+from repro.sim.access import AccessRecord
+from repro.verify.conditions import check_conditions
+
+
+class FakeRun:
+    """Minimal stand-in for MachineRun: just raw_accesses."""
+
+    def __init__(self, raw_accesses):
+        self.raw_accesses = raw_accesses
+
+
+def access(uid, proc, po, kind, loc, gen=None, commit=None, gp=None, write=None):
+    a = AccessRecord(uid, proc, po, kind, loc, write)
+    if gen is not None:
+        a.mark_generated(gen)
+    if commit is not None:
+        a.mark_committed(commit, 0 if kind.has_read else None)
+    if gp is not None:
+        a.mark_globally_performed(gp)
+    return a
+
+
+R, W = OpKind.DATA_READ, OpKind.DATA_WRITE
+SW, SRW = OpKind.SYNC_WRITE, OpKind.SYNC_RMW
+
+
+class TestCondition1:
+    def test_program_order_generation_ok(self):
+        run = FakeRun([[
+            access(0, 0, 0, W, "x", gen=1, commit=2, gp=3, write=1),
+            access(1, 0, 1, W, "y", gen=2, commit=4, gp=5, write=1),
+        ]])
+        assert not check_conditions(run).violations.get("condition1")
+
+    def test_out_of_order_generation_flagged(self):
+        run = FakeRun([[
+            access(0, 0, 0, W, "x", gen=5, commit=6, gp=7, write=1),
+            access(1, 0, 1, W, "y", gen=2, commit=4, gp=5, write=1),
+        ]])
+        assert check_conditions(run).violations["condition1"]
+
+
+class TestCondition2:
+    def test_same_cycle_cross_processor_writes_flagged(self):
+        run = FakeRun([
+            [access(0, 0, 0, W, "x", gen=0, commit=5, gp=6, write=1)],
+            [access(1, 1, 0, W, "x", gen=0, commit=5, gp=7, write=2)],
+        ])
+        assert check_conditions(run).violations["condition2"]
+
+    def test_distinct_commit_cycles_ok(self):
+        run = FakeRun([
+            [access(0, 0, 0, W, "x", gen=0, commit=5, gp=6, write=1)],
+            [access(1, 1, 0, W, "x", gen=0, commit=8, gp=9, write=2)],
+        ])
+        assert not check_conditions(run).violations.get("condition2")
+
+
+class TestCondition3:
+    def test_gp_order_must_match_commit_order(self):
+        run = FakeRun([
+            [access(0, 0, 0, SW, "s", gen=0, commit=5, gp=20, write=0)],
+            [access(1, 1, 0, SW, "s", gen=0, commit=25, gp=12, write=1)],
+        ])
+        assert check_conditions(run).violations["condition3"]
+
+    def test_earlier_sync_must_be_gp_before_later_commits(self):
+        run = FakeRun([
+            [access(0, 0, 0, SW, "s", gen=0, commit=5, gp=30, write=0)],
+            [access(1, 1, 0, SW, "s", gen=0, commit=10, gp=35, write=1)],
+        ])
+        report = check_conditions(run)
+        assert report.violations["condition3"]
+
+    def test_clean_serialized_syncs(self):
+        run = FakeRun([
+            [access(0, 0, 0, SW, "s", gen=0, commit=5, gp=8, write=0)],
+            [access(1, 1, 0, SW, "s", gen=0, commit=10, gp=14, write=1)],
+        ])
+        assert not check_conditions(run).violations.get("condition3")
+
+
+class TestCondition4:
+    def test_access_generated_before_sync_commit_flagged(self):
+        run = FakeRun([[
+            access(0, 0, 0, SW, "s", gen=0, commit=10, gp=12, write=0),
+            access(1, 0, 1, W, "x", gen=5, commit=7, gp=8, write=1),
+        ]])
+        assert check_conditions(run).violations["condition4"]
+
+    def test_access_after_sync_commit_ok(self):
+        run = FakeRun([[
+            access(0, 0, 0, SW, "s", gen=0, commit=10, gp=12, write=0),
+            access(1, 0, 1, W, "x", gen=11, commit=13, gp=14, write=1),
+        ]])
+        assert not check_conditions(run).violations.get("condition4")
+
+
+class TestCondition5:
+    def test_remote_sync_commits_before_writes_gp_flagged(self):
+        """P0's write (po-before its sync) globally performs at 50, yet
+        P1's sync on the same location commits at 20."""
+        run = FakeRun([
+            [
+                access(0, 0, 0, W, "x", gen=0, commit=2, gp=50, write=1),
+                access(1, 0, 1, SRW, "s", gen=3, commit=5, gp=6, write=1),
+            ],
+            [access(2, 1, 0, SRW, "s", gen=0, commit=20, gp=22, write=1)],
+        ])
+        assert check_conditions(run).violations["condition5"]
+
+    def test_remote_sync_after_writes_gp_ok(self):
+        run = FakeRun([
+            [
+                access(0, 0, 0, W, "x", gen=0, commit=2, gp=10, write=1),
+                access(1, 0, 1, SRW, "s", gen=3, commit=5, gp=6, write=1),
+            ],
+            [access(2, 1, 0, SRW, "s", gen=0, commit=20, gp=22, write=1)],
+        ])
+        assert not check_conditions(run).violations.get("condition5")
+
+    def test_same_processor_syncs_exempt(self):
+        run = FakeRun([[
+            access(0, 0, 0, W, "x", gen=0, commit=2, gp=50, write=1),
+            access(1, 0, 1, SRW, "s", gen=3, commit=5, gp=6, write=1),
+            access(2, 0, 2, SRW, "s", gen=7, commit=9, gp=11, write=1),
+        ]])
+        assert not check_conditions(run).violations.get("condition5")
+
+
+class TestDrf1Demotion:
+    def test_read_sync_exempt_when_drf1_optimized(self):
+        """Concurrent read-only syncs violate condition 3 under DRF0 rules
+        but are demoted to data reads under the DRF1 optimization."""
+        run = FakeRun([
+            [access(0, 0, 0, OpKind.SYNC_READ, "s", gen=0, commit=5, gp=20)],
+            [access(1, 1, 0, OpKind.SYNC_READ, "s", gen=0, commit=8, gp=9)],
+        ])
+        strict = check_conditions(run)
+        assert strict.violations["condition3"]
+        relaxed = check_conditions(run, drf1_optimized=True)
+        assert not relaxed.violations.get("condition3")

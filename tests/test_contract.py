@@ -1,0 +1,148 @@
+"""Tests for the Definition-2 contract checker (appears sequentially consistent)."""
+
+import pytest
+
+from repro.core.contract import (
+    ContractSearchLimit,
+    appears_sc,
+    check_weak_ordering,
+    is_sc_result,
+)
+from repro.core.execution import Result
+from repro.core.sc import sc_results
+from repro.core.types import Condition
+from repro.machine.dsl import ThreadBuilder, build_program
+
+from helpers import (
+    lock_increment_program,
+    message_passing_program,
+    store_buffer_program,
+)
+
+
+class TestMembership:
+    def test_every_enumerated_result_is_a_member(self):
+        program = store_buffer_program()
+        for result in sc_results(program):
+            assert is_sc_result(program, result)
+
+    def test_forbidden_store_buffer_outcome_rejected(self):
+        program = store_buffer_program()
+        forbidden = Result.build([[0], [0]], {"x": 1, "y": 1})
+        assert not is_sc_result(program, forbidden)
+
+    def test_wrong_final_memory_rejected(self):
+        program = store_buffer_program()
+        bad = Result.build([[1], [1]], {"x": 0, "y": 1})
+        assert not is_sc_result(program, bad)
+
+    def test_wrong_read_count_rejected(self):
+        program = store_buffer_program()
+        bad = Result.build([[1, 1], [1]], {"x": 1, "y": 1})
+        assert not is_sc_result(program, bad)
+
+    def test_wrong_proc_count_rejected(self):
+        program = store_buffer_program()
+        bad = Result.build([[1]], {"x": 1, "y": 1})
+        assert not is_sc_result(program, bad)
+
+    def test_wrong_location_set_rejected(self):
+        program = store_buffer_program()
+        bad = Result.build([[1], [1]], {"x": 1, "y": 1, "z": 0})
+        assert not is_sc_result(program, bad)
+
+
+class TestSpinPrograms:
+    """Membership must handle unbounded spin histories."""
+
+    def test_pumped_spin_history_is_member(self):
+        program = message_passing_program(sync=True)
+        # Consumer spun four times (flag still 1) before observing 0, then
+        # read data=42.  No finite enumeration contains this, but it is SC.
+        pumped = Result.build([[], [1, 1, 1, 1, 0, 42]], {"data": 42, "flag": 0})
+        assert is_sc_result(program, pumped)
+
+    def test_minimal_spin_history_is_member(self):
+        program = message_passing_program(sync=True)
+        minimal = Result.build([[], [0, 42]], {"data": 42, "flag": 0})
+        assert is_sc_result(program, minimal)
+
+    def test_stale_data_after_flag_rejected(self):
+        """Reading flag==0 then data==0 is not SC for the synchronized MP."""
+        program = message_passing_program(sync=True)
+        stale = Result.build([[], [0, 0]], {"data": 42, "flag": 0})
+        assert not is_sc_result(program, stale)
+
+    def test_lock_program_pumped_acquire(self):
+        program = lock_increment_program(2)
+        # P1 failed the TestAndSet twice before succeeding.
+        pumped = Result.build(
+            [[0, 0], [1, 1, 0, 1]], {"lock": 0, "count": 2}
+        )
+        assert is_sc_result(program, pumped)
+
+    def test_lock_program_lost_update_rejected(self):
+        program = lock_increment_program(2)
+        lost = Result.build([[0, 0], [0, 0]], {"lock": 0, "count": 1})
+        assert not is_sc_result(program, lost)
+
+
+class TestAppearsSC:
+    def test_clean_batch(self):
+        program = store_buffer_program()
+        report = appears_sc(program, sc_results(program))
+        assert report.appears_sc
+        assert report.results_checked == 3
+        assert not report.violations
+
+    def test_batch_with_violation(self):
+        program = store_buffer_program()
+        observed = list(sc_results(program)) + [
+            Result.build([[0], [0]], {"x": 1, "y": 1})
+        ]
+        report = appears_sc(program, observed)
+        assert not report.appears_sc
+        assert len(report.violations) == 1
+
+    def test_duplicate_results_checked_once(self):
+        program = store_buffer_program()
+        result = next(iter(sc_results(program)))
+        report = appears_sc(program, [result, result, result])
+        assert report.results_checked == 1
+
+    def test_report_bool_protocol(self):
+        program = store_buffer_program()
+        assert appears_sc(program, sc_results(program))
+
+
+class TestWeakOrderingVerdict:
+    def test_racy_program_non_sc_results_are_permitted(self):
+        """Definition 2 places no obligation on racy programs."""
+        program = store_buffer_program()  # violates DRF0
+        non_sc = Result.build([[0], [0]], {"x": 1, "y": 1})
+        verdict = check_weak_ordering(program, program_obeys_model=False,
+                                      observed_results=[non_sc])
+        assert not verdict.contract.appears_sc
+        assert verdict.hardware_ok  # permitted: the premise fails
+
+    def test_model_obeying_program_with_sc_results_ok(self):
+        program = message_passing_program(sync=True)
+        good = Result.build([[], [0, 42]], {"data": 42, "flag": 0})
+        verdict = check_weak_ordering(program, True, [good])
+        assert verdict.hardware_ok
+
+    def test_model_obeying_program_with_non_sc_result_fails(self):
+        program = message_passing_program(sync=True)
+        bad = Result.build([[], [0, 0]], {"data": 42, "flag": 0})
+        verdict = check_weak_ordering(program, True, [bad])
+        assert not verdict.hardware_ok
+
+
+class TestSearchLimits:
+    def test_state_budget_enforced(self):
+        program = lock_increment_program(3)
+        pumped = Result.build(
+            [[0, 0], [1, 0, 1], [1, 1, 0, 2]], {"lock": 0, "count": 3}
+        )
+        with pytest.raises(ContractSearchLimit):
+            is_sc_result(program, pumped, max_states=5)

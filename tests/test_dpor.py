@@ -1,0 +1,88 @@
+"""Tests for the DPOR explorer: equivalence with naive enumeration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dpor import check_program_dpor, explore_dpor, sc_results_dpor
+from repro.core.drf0 import check_program
+from repro.core.models import DRF1_MODEL
+from repro.core.sc import (
+    ExplorationConfig,
+    ExplorationIncomplete,
+    sc_executions,
+    sc_results,
+)
+from repro.litmus.catalog import all_tests
+from repro.machine.dsl import ThreadBuilder, build_program
+
+from test_properties import small_programs
+
+
+STRAIGHT_TESTS = [t for t in all_tests() if t.program.is_straight_line()]
+
+
+class TestAgainstNaiveEnumeration:
+    @pytest.mark.parametrize("test", STRAIGHT_TESTS, ids=lambda t: t.name)
+    def test_result_sets_equal(self, test):
+        assert sc_results_dpor(test.program) == sc_results(test.program)
+
+    @pytest.mark.parametrize("test", STRAIGHT_TESTS, ids=lambda t: t.name)
+    def test_drf0_verdicts_equal(self, test):
+        assert check_program_dpor(test.program).obeys == test.drf0
+
+    def test_drf1_verdicts_supported(self):
+        for test in STRAIGHT_TESTS[:4]:
+            naive = check_program(test.program, DRF1_MODEL).obeys
+            dpor = check_program_dpor(test.program, DRF1_MODEL).obeys
+            assert naive == dpor
+
+    def test_reduction_on_independent_threads(self):
+        """Fully independent threads collapse to a single trace."""
+        program = build_program(
+            [ThreadBuilder().store("a", 1), ThreadBuilder().store("b", 1),
+             ThreadBuilder().store("c", 1)],
+            name="independent",
+        )
+        assert len(explore_dpor(program)) == 1
+        assert len(sc_executions(program)) == 6  # 3! interleavings
+
+    def test_reduction_on_iriw(self):
+        from repro.litmus.catalog import iriw
+
+        program = iriw().program
+        assert len(explore_dpor(program)) < len(sc_executions(program))
+
+
+class TestBounds:
+    def test_spin_program_raises(self):
+        from repro.core.types import Condition
+
+        spin = build_program(
+            [
+                ThreadBuilder().label("s").test_and_set("r", "l").branch_if(
+                    Condition.NE, "r", 0, "s"
+                ),
+                ThreadBuilder().test_and_set("r2", "l"),
+            ],
+            initial_memory={"l": 1},
+            name="spinner",
+        )
+        with pytest.raises(ExplorationIncomplete):
+            explore_dpor(spin, ExplorationConfig(max_ops=50))
+
+    def test_allow_incomplete_returns_partial(self):
+        program = build_program(
+            [ThreadBuilder().store("x", 1).store("x", 2)], name="uni"
+        )
+        results = explore_dpor(
+            program, ExplorationConfig(max_ops=1, allow_incomplete=True)
+        )
+        assert results == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_programs(max_threads=3, max_ops=3))
+def test_dpor_matches_naive_on_random_programs(program):
+    """The central DPOR property: identical result sets and verdicts."""
+    assert sc_results_dpor(program) == sc_results(program)
+    assert check_program_dpor(program).obeys == check_program(program).obeys

@@ -1,0 +1,63 @@
+"""Smoke tests: the example scripts must run end to end.
+
+The slow sweeps (`litmus_explorer`, `hardware_bug_hunt`) are exercised
+through their building blocks elsewhere; here the fast examples run whole
+and the slow ones are imported and spot-checked.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestFastExamples:
+    def test_quickstart_runs(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "obeys DRF0: True" in out
+        assert out.count("True") >= 3  # all three implementations appear SC
+
+    def test_race_detection_runs(self, capsys):
+        load_example("race_detection").main()
+        out = capsys.readouterr().out
+        assert "'buggy-handoff' obeys DRF0: False" in out
+        assert "'fixed-handoff' obeys DRF0: True" in out
+
+    def test_asynchronous_relaxation_runs(self, capsys):
+        load_example("asynchronous_relaxation").main()
+        out = capsys.readouterr().out
+        assert "obeys DRF0: False" in out
+
+
+class TestSlowExampleComponents:
+    def test_lock_performance_helpers(self):
+        module = load_example("lock_performance")
+        program = module.WORKLOADS[0]
+        cycles = module.mean_cycles(program, module.POLICIES[0][1])
+        assert cycles > 0
+
+    def test_bug_hunt_finds_known_violation(self):
+        module = load_example("hardware_bug_hunt")
+        violations = module.hunt(
+            module.NoReserveBits, [60], dict(net_latency=1, net_jitter=60)
+        )
+        assert len(violations) == 1
+
+    def test_litmus_explorer_cell_renderer(self):
+        module = load_example("litmus_explorer")
+        from repro.axiomatic import SCModel
+        from repro.litmus import by_name
+
+        assert module.axiomatic_cell(by_name("SB"), SCModel()).strip() == "no"
+        assert module.axiomatic_cell(by_name("MP+sync"), SCModel()).strip() == "-"

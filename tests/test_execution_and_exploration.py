@@ -1,0 +1,100 @@
+"""Unit tests for Execution/Result helpers and exploration metadata."""
+
+import pytest
+
+from repro.core.execution import Execution, Result, final_memory_from_dict
+from repro.core.sc import ExplorationConfig, explore, sc_results
+from repro.core.types import Condition, OpKind
+from repro.machine.dsl import ThreadBuilder, build_program
+
+from helpers import execution_from_specs, store_buffer_program
+
+R, W = OpKind.DATA_READ, OpKind.DATA_WRITE
+
+
+class TestResult:
+    def test_build_normalizes(self):
+        result = Result.build([[1, 2], []], {"b": 2, "a": 1})
+        assert result.reads == ((1, 2), ())
+        assert result.final_memory == (("a", 1), ("b", 2))
+
+    def test_equality_and_hash(self):
+        a = Result.build([[1]], {"x": 1})
+        b = Result.build([[1]], {"x": 1})
+        assert a == b and hash(a) == hash(b)
+        assert a != Result.build([[2]], {"x": 1})
+
+    def test_str_mentions_reads_and_memory(self):
+        text = str(Result.build([[7]], {"x": 7}))
+        assert "7" in text and "x=7" in text
+
+    def test_final_memory_from_dict_sorted(self):
+        assert final_memory_from_dict({"b": 1, "a": 0}) == (("a", 0), ("b", 1))
+
+
+class TestExecutionAccessors:
+    def _execution(self):
+        return execution_from_specs(
+            [
+                (1, W, "x", None, 5),
+                (0, R, "x", 5, None),
+                (0, W, "y", None, 2),
+            ],
+            num_procs=2,
+            final_memory={"x": 5, "y": 2},
+        )
+
+    def test_by_program_order_groups_by_processor(self):
+        ordered = self._execution().by_program_order()
+        assert [op.proc for op in ordered] == [0, 0, 1]
+        assert [op.po_index for op in ordered] == [0, 1, 0]
+
+    def test_ops_of(self):
+        execution = self._execution()
+        assert len(execution.ops_of(0)) == 2
+        assert len(execution.ops_of(1)) == 1
+
+    def test_writes_to(self):
+        execution = self._execution()
+        assert [op.proc for op in execution.writes_to("x")] == [1]
+        assert execution.writes_to("nope") == []
+
+    def test_result_reads_follow_program_order(self):
+        result = self._execution().result()
+        assert result.reads == ((5,), ())
+
+    def test_len(self):
+        assert len(self._execution()) == 3
+
+
+class TestExplorationMetadata:
+    def test_states_visited_counted(self):
+        exploration = explore(store_buffer_program())
+        assert exploration.complete
+        assert exploration.states_visited > 0
+        assert exploration.result_set == sc_results(store_buffer_program())
+
+    def test_dedup_reduces_executions(self):
+        program = store_buffer_program()
+        deduped = explore(program, ExplorationConfig(dedup=True))
+        full = explore(program, ExplorationConfig(dedup=False))
+        assert len(deduped.executions) <= len(full.executions)
+        assert {e.result() for e in deduped.executions} == {
+            e.result() for e in full.executions
+        }
+
+    def test_branchy_program_explores_both_arms(self):
+        p0 = (
+            ThreadBuilder()
+            .load("r", "x")
+            .branch_if(Condition.EQ, "r", 0, "zero")
+            .store("out", 2)
+            .jump("end")
+            .label("zero")
+            .store("out", 1)
+            .label("end")
+        )
+        p1 = ThreadBuilder().store("x", 1)
+        program = build_program([p0, p1], name="branchy")
+        outs = {r.memory_value("out") for r in sc_results(program)}
+        assert outs == {1, 2}

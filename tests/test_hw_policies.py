@@ -1,0 +1,157 @@
+"""Unit tests for the memory-system policies' gate and blocking logic."""
+
+import pytest
+
+from repro.core.types import OpKind
+from repro.hw import (
+    AdveHillPolicy,
+    BlockLevel,
+    Definition1Policy,
+    POLICY_FACTORIES,
+    RelaxedPolicy,
+    SCPolicy,
+)
+from repro.sim.access import AccessRecord, BlockLevel as AccessBlockLevel
+
+
+class FakeProcessor:
+    """Just enough of the Processor bookkeeping surface for policies."""
+
+    def __init__(self, accesses):
+        self.accesses = accesses
+        self.last_generated = accesses[-1] if accesses else None
+
+    def not_globally_performed(self):
+        return [
+            a for a in self.accesses if a.generated and not a.globally_performed
+        ]
+
+    def pending_syncs(self, level):
+        if level is BlockLevel.COMMIT:
+            return [a for a in self.accesses if a.is_sync and not a.committed]
+        return [a for a in self.accesses if a.is_sync and not a.globally_performed]
+
+
+def make_access(uid, kind, state="generated"):
+    a = AccessRecord(uid, 0, uid, kind, "x", 1 if kind.has_write else None)
+    if state in ("generated", "committed", "gp"):
+        a.mark_generated(0)
+    if state in ("committed", "gp"):
+        a.mark_committed(1, 0 if kind.has_read else None)
+    if state == "gp":
+        a.mark_globally_performed(2)
+    return a
+
+
+class TestBlockLevelReExport:
+    def test_same_enum_object(self):
+        assert BlockLevel is AccessBlockLevel
+
+
+class TestSCPolicy:
+    def test_gates_on_previous_access_gp(self):
+        prev = make_access(0, OpKind.DATA_WRITE, "committed")
+        proc = FakeProcessor([prev])
+        nxt = make_access(1, OpKind.DATA_READ, "generated")
+        gates = SCPolicy().generation_gate(proc, nxt)
+        assert len(gates) == 1
+        assert gates[0].access is prev and gates[0].level is BlockLevel.GP
+
+    def test_no_gate_when_previous_globally_performed(self):
+        prev = make_access(0, OpKind.DATA_WRITE, "gp")
+        proc = FakeProcessor([prev])
+        gates = SCPolicy().generation_gate(proc, make_access(1, OpKind.DATA_READ))
+        assert gates == []
+
+    def test_blocks_thread_until_gp(self):
+        assert SCPolicy().block_level(make_access(0, OpKind.DATA_WRITE)) is BlockLevel.GP
+
+
+class TestDefinition1Policy:
+    def test_sync_gates_on_all_outstanding(self):
+        w1 = make_access(0, OpKind.DATA_WRITE, "committed")
+        w2 = make_access(1, OpKind.DATA_WRITE, "gp")
+        r1 = make_access(2, OpKind.DATA_READ, "committed")  # not gp
+        proc = FakeProcessor([w1, w2, r1])
+        sync = make_access(3, OpKind.SYNC_WRITE)
+        gates = Definition1Policy().generation_gate(proc, sync)
+        gated = {g.access.uid for g in gates}
+        assert gated == {0, 2}  # everything not yet globally performed
+        assert all(g.level is BlockLevel.GP for g in gates)
+
+    def test_data_gates_only_on_pending_syncs(self):
+        w = make_access(0, OpKind.DATA_WRITE, "committed")
+        s = make_access(1, OpKind.SYNC_WRITE, "committed")  # not gp
+        proc = FakeProcessor([w, s])
+        gates = Definition1Policy().generation_gate(
+            proc, make_access(2, OpKind.DATA_READ)
+        )
+        assert {g.access.uid for g in gates} == {1}
+
+    def test_no_gate_when_syncs_done(self):
+        s = make_access(0, OpKind.SYNC_WRITE, "gp")
+        proc = FakeProcessor([s])
+        gates = Definition1Policy().generation_gate(
+            proc, make_access(1, OpKind.DATA_WRITE)
+        )
+        assert gates == []
+
+    def test_thread_never_blocks_beyond_reads(self):
+        assert (
+            Definition1Policy().block_level(make_access(0, OpKind.DATA_WRITE))
+            is BlockLevel.NONE
+        )
+
+
+class TestAdveHillPolicy:
+    def test_gates_on_uncommitted_syncs_only(self):
+        s_done = make_access(0, OpKind.SYNC_WRITE, "committed")
+        s_pending = make_access(1, OpKind.SYNC_RMW, "generated")
+        w = make_access(2, OpKind.DATA_WRITE, "generated")  # data: irrelevant
+        proc = FakeProcessor([s_done, s_pending, w])
+        gates = AdveHillPolicy().generation_gate(
+            proc, make_access(3, OpKind.DATA_READ)
+        )
+        assert {g.access.uid for g in gates} == {1}
+        assert all(g.level is BlockLevel.COMMIT for g in gates)
+
+    def test_commit_suffices_not_gp(self):
+        """The whole point: committed-but-not-globally-performed syncs do
+        not gate (Definition 1 would wait)."""
+        s = make_access(0, OpKind.SYNC_WRITE, "committed")
+        proc = FakeProcessor([s])
+        assert AdveHillPolicy().generation_gate(
+            proc, make_access(1, OpKind.DATA_WRITE)
+        ) == []
+
+    def test_flags(self):
+        base = AdveHillPolicy()
+        assert base.requires_caches and base.use_reserve_bits
+        assert not base.drf1_optimized
+        opt = AdveHillPolicy(drf1_optimized=True)
+        assert opt.drf1_optimized
+        assert "drf1" in opt.name
+
+
+class TestRelaxedPolicy:
+    def test_never_gates_never_blocks(self):
+        prev = make_access(0, OpKind.SYNC_WRITE, "generated")
+        proc = FakeProcessor([prev])
+        policy = RelaxedPolicy()
+        assert policy.generation_gate(proc, make_access(1, OpKind.DATA_READ)) == []
+        assert policy.block_level(make_access(1, OpKind.DATA_WRITE)) is BlockLevel.NONE
+
+    def test_uses_cache_write_buffer(self):
+        assert RelaxedPolicy().buffers_cache_writes
+        assert not SCPolicy().buffers_cache_writes
+
+
+class TestPolicyRegistry:
+    def test_all_factories_produce_distinct_names(self):
+        names = {factory().name for factory in POLICY_FACTORIES.values()}
+        assert len(names) == len(POLICY_FACTORIES)
+
+    def test_fresh_instances_each_call(self):
+        a = POLICY_FACTORIES["adve-hill"]()
+        b = POLICY_FACTORIES["adve-hill"]()
+        assert a is not b

@@ -1,0 +1,110 @@
+"""Tests for the litmus catalog, the paper's figures, and the harness."""
+
+import pytest
+
+from repro.core.drf0 import check_program, races_in_execution
+from repro.core.models import DRF0_MODEL, DRF1_MODEL
+from repro.core.sc import sc_results
+from repro.hw import AdveHillPolicy, RelaxedPolicy, SCPolicy
+from repro.litmus import (
+    all_tests,
+    by_name,
+    figure2a_execution,
+    figure2b_execution,
+    figure3_program,
+    hardware_outcome_table,
+    run_litmus_on_hardware,
+    verify_catalog_expectations,
+)
+from repro.sim.system import SystemConfig
+
+
+class TestCatalogSelfConsistency:
+    def test_names_unique(self):
+        names = [t.name for t in all_tests()]
+        assert len(names) == len(set(names))
+
+    def test_by_name(self):
+        assert by_name("SB").name == "SB"
+        with pytest.raises(KeyError):
+            by_name("nope")
+
+    def test_catalog_flags_match_oracles(self):
+        """Every sc_allows / drf0 flag agrees with exhaustive checking."""
+        assert verify_catalog_expectations(all_tests()) == []
+
+    @pytest.mark.parametrize("test", all_tests(), ids=lambda t: t.name)
+    def test_sc_never_shows_sc_forbidden_outcomes(self, test):
+        if not test.sc_allows:
+            results = sc_results(test.program)
+            assert not test.outcome_observed(results)
+
+
+class TestFigure2:
+    """E2: the paper's DRF0 example and counter-example."""
+
+    def test_figure2a_obeys_drf0(self):
+        assert races_in_execution(figure2a_execution(), DRF0_MODEL) == []
+
+    def test_figure2b_has_the_documented_races(self):
+        races = races_in_execution(figure2b_execution(), DRF0_MODEL)
+        assert races
+        locations = {race.first.location for race in races}
+        # the caption's two violations: P0/P1 on x and P2-or-P3/P4 on y
+        assert locations == {"x", "y"}
+        proc_pairs = {
+            frozenset((race.first.proc, race.second.proc)) for race in races
+        }
+        assert frozenset((0, 1)) in proc_pairs
+        assert any(4 in pair for pair in proc_pairs)
+
+    def test_figure2a_clean_under_drf1_too(self):
+        assert races_in_execution(figure2a_execution(), DRF1_MODEL) == []
+
+
+class TestFigure3Program:
+    def test_obeys_drf0(self):
+        assert check_program(figure3_program()).obeys
+
+    def test_consumer_reads_the_written_value(self):
+        for result in sc_results(figure3_program()):
+            assert result.reads[1][-1] == 1  # R(x) after acquiring s
+
+    def test_extra_sharers_still_drf0(self):
+        assert check_program(figure3_program(num_extra_sharers=1)).obeys
+
+
+class TestHarness:
+    def test_relaxed_hardware_breaks_sb(self):
+        report = run_litmus_on_hardware(
+            by_name("SB"), RelaxedPolicy, SystemConfig(), seeds=range(30)
+        )
+        assert report.outcome_observed
+        assert not report.appears_sc
+        # SB violates DRF0, so Definition 2 is not violated
+        assert report.contract_respected
+
+    def test_sc_hardware_respects_everything(self):
+        report = run_litmus_on_hardware(
+            by_name("SB"), SCPolicy, SystemConfig(), seeds=range(15)
+        )
+        assert not report.outcome_observed
+        assert report.appears_sc
+
+    def test_weakly_ordered_hardware_keeps_contract_on_drf0_tests(self):
+        for name in ("MP+sync", "SB+sync", "TAS", "disjoint"):
+            report = run_litmus_on_hardware(
+                by_name(name), AdveHillPolicy, SystemConfig(), seeds=range(12)
+            )
+            assert report.contract_respected, name
+            assert not report.outcome_observed, name
+
+    def test_outcome_table_rows(self):
+        rows = hardware_outcome_table(
+            [by_name("TAS")],
+            {"sc": SCPolicy, "adve-hill": AdveHillPolicy},
+            SystemConfig(),
+            seeds=range(5),
+        )
+        assert len(rows) == 2
+        assert all(row["contract_respected"] for row in rows)

@@ -1,0 +1,100 @@
+"""Tests for the Eraser-style lockset analysis."""
+
+import pytest
+
+from repro.analysis import (
+    LocationState,
+    analyze_execution,
+    analyze_program,
+)
+from repro.core.sc import random_sc_execution
+from repro.machine.dsl import ThreadBuilder, build_program
+from repro.workloads import lock_workload, producer_consumer_workload
+
+from helpers import racy_program, store_buffer_program
+
+
+class TestDiscipline:
+    def test_lock_protected_counter_is_clean(self):
+        report = analyze_program(lock_workload(3, 1))
+        assert report.clean
+        assert report.locksets["count"] == frozenset({"lock"})
+
+    def test_two_locks_intersect(self):
+        """A location protected by lock A in one section and lock B in
+        another loses its candidates."""
+        t0 = (
+            ThreadBuilder()
+            .acquire("A").load("t", "x").add("t", "t", 1).store("x", "t").release("A")
+        )
+        t1 = (
+            ThreadBuilder()
+            .acquire("B").load("t", "x").add("t", "t", 1).store("x", "t").release("B")
+        )
+        program = build_program([t0, t1], name="mixed-locks")
+        report = analyze_program(program, seeds=range(20))
+        assert not report.clean
+        assert "x" in report.warned_locations()
+
+    def test_unprotected_write_write_warns(self):
+        program = build_program(
+            [ThreadBuilder().store("x", 1), ThreadBuilder().store("x", 2)],
+            name="ww",
+        )
+        report = analyze_program(program)
+        assert not report.clean
+
+    def test_racy_sb_warns(self):
+        report = analyze_program(store_buffer_program(), seeds=range(20))
+        assert not report.clean
+
+    def test_read_sharing_after_handoff_tolerated(self):
+        """Eraser's designed leniency: write-then-read-share without locks
+        stays in SHARED (no warning) -- the flag hand-off pattern."""
+        report = analyze_program(producer_consumer_workload(3), seeds=range(10))
+        assert report.clean
+
+    def test_exclusive_phase_needs_no_locks(self):
+        program = build_program(
+            [ThreadBuilder().store("x", 1).load("r", "x").store("x", 2)],
+            name="solo",
+        )
+        report = analyze_program(program)
+        assert report.clean
+        assert report.states["x"] is LocationState.EXCLUSIVE
+
+
+class TestMechanics:
+    def test_acquire_requires_successful_tas(self):
+        """A failed TestAndSet (read 1) must not count as holding the lock."""
+        from repro.core.types import Condition
+
+        t0 = ThreadBuilder().acquire("l").store("x", 1).release("l")
+        t1 = ThreadBuilder().acquire("l").store("x", 2).release("l")
+        program = build_program([t0, t1], name="contended")
+        for seed in range(10):
+            report = analyze_execution(random_sc_execution(program, seed))
+            assert report.clean
+
+    def test_release_clears_held_lock(self):
+        t = (
+            ThreadBuilder()
+            .acquire("l").store("x", 1).release("l").store("y", 1)
+        )
+        other = ThreadBuilder().acquire("l").store("y", 2).release("l")
+        program = build_program([t, other], name="post-release")
+        # y is written by thread 0 *outside* the lock and by thread 1
+        # inside it: no consistent lockset.
+        report = analyze_program(program, seeds=range(20))
+        assert "y" in report.warned_locations()
+
+    def test_states_reported(self):
+        report = analyze_program(lock_workload(2, 1))
+        assert report.states["count"] in (
+            LocationState.SHARED_MODIFIED, LocationState.EXCLUSIVE,
+        )
+
+    def test_warning_rendering(self):
+        report = analyze_program(racy_program(), seeds=range(10))
+        if report.warnings:
+            assert "unprotected access" in str(report.warnings[0])

@@ -1,0 +1,220 @@
+"""Unit tests for the register-machine frontend (ISA, programs, interpreter)."""
+
+import pytest
+
+from repro.core.types import Condition, OpKind
+from repro.machine.dsl import ThreadBuilder, build_program
+from repro.machine.interpreter import (
+    DelayRequest,
+    InterpreterError,
+    MemRequest,
+    ThreadState,
+    complete,
+    consume_delay,
+    run_to_memory_op,
+)
+from repro.machine.isa import (
+    Add,
+    BranchIf,
+    Delay,
+    Jump,
+    Load,
+    Mov,
+    Store,
+    SyncLoad,
+    TestAndSet,
+    Unset,
+    written_value,
+)
+from repro.machine.program import Program, ProgramError, ThreadCode, registers_used
+
+
+class TestThreadCode:
+    def test_undefined_label_rejected(self):
+        with pytest.raises(ProgramError):
+            ThreadCode((Jump("nowhere"),), {})
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ProgramError):
+            ThreadCode((Mov("r0", 1),), {"bad": 5})
+
+    def test_memory_instructions_listed_in_order(self):
+        code = ThreadCode((Mov("r0", 1), Store("x", "r0"), Load("r1", "y")), {})
+        memops = code.memory_instructions()
+        assert [type(i) for i in memops] == [Store, Load]
+
+    def test_target_resolution(self):
+        code = ThreadCode((Mov("r0", 1), Jump("end")), {"end": 2})
+        assert code.target("end") == 2
+
+
+class TestProgramMake:
+    def test_locations_inferred_with_zero_default(self):
+        program = build_program([ThreadBuilder().store("x", 1).load("r0", "y")])
+        assert program.initial_memory == {"x": 0, "y": 0}
+
+    def test_explicit_initial_values_kept(self):
+        program = build_program(
+            [ThreadBuilder().load("r0", "flag")], initial_memory={"flag": 7}
+        )
+        assert program.initial_memory["flag"] == 7
+
+    def test_sync_locations_detected(self):
+        t = ThreadBuilder().store("x", 1).test_and_set("r0", "lock").unset("door")
+        program = build_program([t])
+        assert program.sync_locations() == ("door", "lock")
+
+    def test_straight_line_detection(self):
+        straight = build_program([ThreadBuilder().store("x", 1)])
+        assert straight.is_straight_line()
+        loopy = build_program(
+            [ThreadBuilder().label("l").load("r", "x").branch_if(Condition.EQ, "r", 0, "l")]
+        )
+        assert not loopy.is_straight_line()
+
+    def test_static_op_count(self):
+        program = build_program(
+            [ThreadBuilder().store("x", 1).load("r", "y"), ThreadBuilder().unset("s")]
+        )
+        assert program.static_op_count() == 3
+
+    def test_registers_used(self):
+        t = ThreadBuilder().mov("a", 1).add("b", "a", 2).store("x", "b").build()
+        assert registers_used(t.instructions) == ("a", "b")
+
+
+class TestWrittenValue:
+    def test_unset_always_writes_zero(self):
+        assert written_value(Unset("s"), 99) == 0
+
+    def test_test_and_set_writes_set_value(self):
+        assert written_value(TestAndSet("r0", "s", set_value=3), 99) == 3
+
+    def test_store_writes_operand(self):
+        assert written_value(Store("x", "r0"), 42) == 42
+
+
+class TestDslLabels:
+    def test_duplicate_label_rejected(self):
+        builder = ThreadBuilder().label("a")
+        with pytest.raises(ProgramError):
+            builder.label("a")
+
+    def test_acquire_emits_tas_loop(self):
+        code = ThreadBuilder().acquire("lock").build()
+        kinds = [type(i) for i in code.instructions]
+        assert TestAndSet in kinds and BranchIf in kinds
+
+    def test_acquire_ttas_spins_with_sync_load(self):
+        code = ThreadBuilder().acquire_ttas("lock").build()
+        kinds = [type(i) for i in code.instructions]
+        assert SyncLoad in kinds and TestAndSet in kinds
+
+
+class TestInterpreter:
+    def test_local_arithmetic_runs_to_memory_op(self):
+        code = (
+            ThreadBuilder()
+            .mov("a", 2)
+            .add("b", "a", 3)
+            .sub("c", "b", 1)
+            .mul("d", "c", 10)
+            .store("x", "d")
+            .build()
+        )
+        state = ThreadState()
+        pending, steps = run_to_memory_op(code, state)
+        assert isinstance(pending, MemRequest)
+        assert pending.kind is OpKind.DATA_WRITE
+        assert pending.write_value == 40
+        assert steps == 4
+
+    def test_branch_taken_and_not_taken(self):
+        code = (
+            ThreadBuilder()
+            .mov("a", 1)
+            .branch_if(Condition.EQ, "a", 1, "skip")
+            .store("x", 99)
+            .label("skip")
+            .store("y", 1)
+            .build()
+        )
+        state = ThreadState()
+        pending, _ = run_to_memory_op(code, state)
+        assert pending.location == "y"
+
+    def test_jump(self):
+        code = (
+            ThreadBuilder().jump("end").store("x", 1).label("end").store("y", 2).build()
+        )
+        state = ThreadState()
+        pending, _ = run_to_memory_op(code, state)
+        assert pending.location == "y"
+
+    def test_halt_returns_none(self):
+        code = ThreadBuilder().mov("a", 1).build()
+        state = ThreadState()
+        pending, _ = run_to_memory_op(code, state)
+        assert pending is None
+        assert state.halted(code)
+
+    def test_delay_surfaces_and_can_be_skipped(self):
+        code = ThreadBuilder().delay(5).store("x", 1).build()
+        state = ThreadState()
+        pending, _ = run_to_memory_op(code, state)
+        assert pending == DelayRequest(5)
+        consume_delay(state)
+        pending, _ = run_to_memory_op(code, state)
+        assert pending.location == "x"
+
+        state2 = ThreadState()
+        pending2, _ = run_to_memory_op(code, state2, skip_delays=True)
+        assert pending2.location == "x"
+
+    def test_complete_writes_read_value_to_register(self):
+        code = ThreadBuilder().load("r0", "x").store("y", "r0").build()
+        state = ThreadState()
+        pending, _ = run_to_memory_op(code, state)
+        complete(code, state, pending, 17)
+        assert state.read_reg("r0") == 17
+        pending, _ = run_to_memory_op(code, state)
+        assert pending.write_value == 17
+
+    def test_complete_rejects_value_for_pure_write(self):
+        code = ThreadBuilder().store("x", 1).build()
+        state = ThreadState()
+        pending, _ = run_to_memory_op(code, state)
+        with pytest.raises(InterpreterError):
+            complete(code, state, pending, 3)
+
+    def test_complete_requires_value_for_read(self):
+        code = ThreadBuilder().load("r0", "x").build()
+        state = ThreadState()
+        pending, _ = run_to_memory_op(code, state)
+        with pytest.raises(InterpreterError):
+            complete(code, state, pending, None)
+
+    def test_test_and_set_request_carries_set_value(self):
+        code = ThreadBuilder().test_and_set("r0", "lock", set_value=9).build()
+        state = ThreadState()
+        pending, _ = run_to_memory_op(code, state)
+        assert pending.kind is OpKind.SYNC_RMW
+        assert pending.write_value == 9
+
+    def test_local_infinite_loop_detected(self):
+        code = ThreadBuilder().label("spin").jump("spin").build()
+        with pytest.raises(InterpreterError):
+            run_to_memory_op(code, ThreadState())
+
+    def test_registers_default_to_zero(self):
+        state = ThreadState()
+        assert state.read_reg("never_written") == 0
+        assert state.operand(41) == 41
+
+    def test_state_key_and_copy_independent(self):
+        state = ThreadState()
+        state.regs["a"] = 1
+        clone = state.copy()
+        clone.regs["a"] = 2
+        assert state.read_reg("a") == 1
+        assert state.key() != clone.key()

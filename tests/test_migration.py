@@ -1,0 +1,95 @@
+"""Tests for process migration (Section 5.1 / footnote 3)."""
+
+import pytest
+
+from repro.core.contract import is_sc_result
+from repro.hw import AdveHillPolicy, Definition1Policy, SCPolicy
+from repro.sim.migration import MigrationPlan, run_with_migration
+from repro.sim.system import SystemConfig
+
+from helpers import lock_increment_program, message_passing_program
+
+
+class TestMigrationMechanics:
+    def test_migrated_run_completes_with_correct_result(self):
+        program = lock_increment_program(2)
+        run = run_with_migration(
+            program,
+            AdveHillPolicy(),
+            MigrationPlan(thread=0, after_accesses=2),
+            SystemConfig(seed=3),
+        )
+        assert run.result.memory_value("count") == 2
+        assert run.result.memory_value("lock") == 0
+
+    def test_migration_after_program_end_is_a_plain_run(self):
+        program = message_passing_program(sync=True)
+        run = run_with_migration(
+            program,
+            AdveHillPolicy(),
+            MigrationPlan(thread=0, after_accesses=99),
+            SystemConfig(seed=1),
+        )
+        assert is_sc_result(program, run.result)
+
+    def test_invalid_thread_rejected(self):
+        with pytest.raises(ValueError):
+            run_with_migration(
+                message_passing_program(sync=True),
+                AdveHillPolicy(),
+                MigrationPlan(thread=5, after_accesses=1),
+            )
+
+    def test_migration_works_cacheless(self):
+        program = message_passing_program(sync=True)
+        run = run_with_migration(
+            program,
+            SCPolicy(),
+            MigrationPlan(thread=1, after_accesses=1),
+            SystemConfig(seed=2, caches=False),
+        )
+        assert is_sc_result(program, run.result)
+
+
+class TestMigrationContract:
+    """The context-switch condition keeps Definition 2 intact."""
+
+    @pytest.mark.parametrize(
+        "policy_factory", [SCPolicy, Definition1Policy, AdveHillPolicy]
+    )
+    @pytest.mark.parametrize("after", [1, 2, 3])
+    def test_mp_sync_appears_sc_across_migration(self, policy_factory, after):
+        program = message_passing_program(sync=True)
+        for seed in range(8):
+            run = run_with_migration(
+                program,
+                policy_factory(),
+                MigrationPlan(thread=0, after_accesses=after),
+                SystemConfig(seed=seed),
+            )
+            assert is_sc_result(program, run.result), (
+                policy_factory().name, after, seed, run.result
+            )
+
+    @pytest.mark.parametrize("thread", [0, 1])
+    def test_lock_program_appears_sc_across_migration(self, thread):
+        program = lock_increment_program(2)
+        for seed in range(6):
+            run = run_with_migration(
+                program,
+                AdveHillPolicy(),
+                MigrationPlan(thread=thread, after_accesses=2),
+                SystemConfig(seed=seed),
+            )
+            assert run.result.memory_value("count") == 2
+            assert is_sc_result(program, run.result)
+
+    def test_migration_with_tiny_cache(self):
+        program = lock_increment_program(2)
+        run = run_with_migration(
+            program,
+            AdveHillPolicy(),
+            MigrationPlan(thread=0, after_accesses=3),
+            SystemConfig(seed=0, cache_capacity=2),
+        )
+        assert run.result.memory_value("count") == 2

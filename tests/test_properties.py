@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) over randomly generated programs.
+
+The generators build small straight-line programs over a handful of
+locations; the properties tie the library's independent components to each
+other:
+
+* the axiomatic SC model and the operational interleaving enumerator agree
+  on every program;
+* the vector-clock race detector agrees with the transitive-closure oracle
+  on every execution and both synchronization models;
+* sequentially consistent hardware appears sequentially consistent to
+  *every* program (not just DRF0 ones);
+* happens-before is a strict partial order containing po and so;
+* hardware runs are deterministic in their seed.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.axiomatic import SCModel, allowed_results
+from repro.core.contract import is_sc_result
+from repro.core.drf0 import races_in_execution, races_in_execution_vc
+from repro.core.models import DRF0_MODEL, DRF1_MODEL
+from repro.core.relations import happens_before, program_order, synchronization_order
+from repro.core.sc import random_sc_execution, sc_results
+from repro.hw import AdveHillPolicy, Definition1Policy, SCPolicy
+from repro.machine.dsl import ThreadBuilder, build_program
+from repro.sim.system import SystemConfig, run_on_hardware
+
+LOCATIONS = ["x", "y", "z"]
+SYNC_LOCATIONS = ["s", "t"]
+
+
+@st.composite
+def straight_line_instruction(draw, thread: ThreadBuilder, index: int):
+    """Append one random straight-line instruction to ``thread``."""
+    choice = draw(st.integers(0, 5))
+    loc = draw(st.sampled_from(LOCATIONS))
+    sloc = draw(st.sampled_from(SYNC_LOCATIONS))
+    value = draw(st.integers(0, 3))
+    if choice == 0:
+        thread.load(f"r{index}", loc)
+    elif choice == 1:
+        thread.store(loc, value)
+    elif choice == 2:
+        thread.sync_load(f"r{index}", sloc)
+    elif choice == 3:
+        thread.sync_store(sloc, value)
+    elif choice == 4:
+        thread.test_and_set(f"r{index}", sloc, set_value=value)
+    else:
+        thread.unset(sloc)
+    return thread
+
+
+@st.composite
+def small_programs(draw, max_threads: int = 3, max_ops: int = 4):
+    """A random straight-line program."""
+    num_threads = draw(st.integers(1, max_threads))
+    threads = []
+    for _ in range(num_threads):
+        t = ThreadBuilder()
+        for index in range(draw(st.integers(1, max_ops))):
+            draw(straight_line_instruction(t, index))
+        threads.append(t)
+    return build_program(threads, name="random")
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_programs(max_threads=2, max_ops=3))
+def test_axiomatic_sc_matches_operational_sc(program):
+    """Two independent definitions of SC agree on every program."""
+    assert allowed_results(program, SCModel()) == sc_results(program)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_programs(), st.integers(0, 1000))
+def test_vector_clock_detector_matches_oracle(program, seed):
+    """Soundness + per-(location, processor pair) completeness of the fast
+    detector: it may subsume an earlier same-processor access under the
+    latest one, but must agree with the oracle on which location/processor
+    pairs race (hence on race existence)."""
+    execution = random_sc_execution(program, seed)
+    for model in (DRF0_MODEL, DRF1_MODEL):
+        slow = races_in_execution(execution, model)
+        fast = races_in_execution_vc(execution, model)
+        slow_pairs = {(r.first.uid, r.second.uid) for r in slow}
+        fast_pairs = {(r.first.uid, r.second.uid) for r in fast}
+        assert fast_pairs <= slow_pairs  # soundness
+        def sites(races):
+            return {
+                (r.first.location, frozenset((r.first.proc, r.second.proc)))
+                for r in races
+            }
+        assert sites(slow) == sites(fast)  # site-level completeness
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_programs(max_threads=2, max_ops=3), st.integers(0, 100))
+def test_sc_hardware_appears_sc_to_all_programs(program, seed):
+    """SC hardware owes sequential consistency to racy programs too."""
+    run = run_on_hardware(program, SCPolicy(), SystemConfig(seed=seed))
+    assert is_sc_result(program, run.result)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_programs(max_threads=2, max_ops=3), st.integers(0, 100))
+def test_hardware_deterministic_in_seed(program, seed):
+    a = run_on_hardware(program, AdveHillPolicy(), SystemConfig(seed=seed))
+    b = run_on_hardware(program, AdveHillPolicy(), SystemConfig(seed=seed))
+    assert a.result == b.result and a.cycles == b.cycles
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_programs(), st.integers(0, 1000))
+def test_happens_before_is_strict_partial_order(program, seed):
+    execution = random_sc_execution(program, seed)
+    hb = happens_before(execution)
+    ops = execution.ops
+    for op in ops:
+        assert not hb.has_edge(op, op)
+    for a in ops:
+        for b in ops:
+            if hb.ordered(a, b):
+                assert not hb.ordered(b, a)
+    po = program_order(execution)
+    so = synchronization_order(execution)
+    for a, b in po.edges():
+        assert hb.ordered(a, b)
+    for a, b in so.edges():
+        assert hb.ordered(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_programs(), st.integers(0, 1000))
+def test_idealized_execution_result_is_member(program, seed):
+    """Every random SC execution's result passes the membership oracle."""
+    execution = random_sc_execution(program, seed)
+    assert is_sc_result(program, execution.result())
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_programs(), st.integers(0, 1000))
+def test_completion_order_is_a_legal_sc_witness(program, seed):
+    """Reads in an idealized execution return the latest preceding write."""
+    execution = random_sc_execution(program, seed)
+    memory = dict(program.initial_memory)
+    for op in execution.ops:
+        if op.has_read:
+            assert op.value_read == memory[op.location]
+        if op.has_write:
+            memory[op.location] = op.value_written
+    assert dict(execution.final_memory) == memory
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_programs(max_threads=2, max_ops=3), st.integers(0, 50))
+def test_weakly_ordered_hardware_commits_all_accesses(program, seed):
+    """Liveness: every generated access commits; every thread halts."""
+    for factory in (Definition1Policy, AdveHillPolicy):
+        run = run_on_hardware(program, factory(), SystemConfig(seed=seed))
+        for per_proc in run.raw_accesses:
+            assert all(a.committed for a in per_proc)
+            writes = [a for a in per_proc if a.has_write]
+            assert all(a.globally_performed for a in writes)

@@ -1,0 +1,115 @@
+"""Property tests across hardware configurations.
+
+The core properties (`test_properties.py`) run on the default
+network+cache configuration; these repeat the critical ones on the other
+substrates: the bus, the cacheless systems, tiny caches, and the
+release-consistency policy.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.contract import is_sc_result
+from repro.hw import (
+    AdveHillPolicy,
+    Definition1Policy,
+    ReleaseConsistencyPolicy,
+    SCPolicy,
+)
+from repro.sim.system import SystemConfig, run_on_hardware
+
+from test_properties import small_programs
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_programs(max_threads=2, max_ops=3), st.integers(0, 100))
+def test_sc_hardware_on_bus_appears_sc(program, seed):
+    run = run_on_hardware(
+        program, SCPolicy(), SystemConfig(seed=seed, topology="bus")
+    )
+    assert is_sc_result(program, run.result)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_programs(max_threads=2, max_ops=3), st.integers(0, 100))
+def test_sc_hardware_cacheless_appears_sc(program, seed):
+    run = run_on_hardware(
+        program, SCPolicy(), SystemConfig(seed=seed, caches=False)
+    )
+    assert is_sc_result(program, run.result)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_programs(max_threads=2, max_ops=3), st.integers(0, 100))
+def test_sc_hardware_cacheless_bus_appears_sc(program, seed):
+    run = run_on_hardware(
+        program,
+        SCPolicy(),
+        SystemConfig(seed=seed, caches=False, topology="bus"),
+    )
+    assert is_sc_result(program, run.result)
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_programs(max_threads=2, max_ops=3), st.integers(0, 100))
+def test_sc_hardware_with_tiny_cache_appears_sc(program, seed):
+    run = run_on_hardware(
+        program, SCPolicy(), SystemConfig(seed=seed, cache_capacity=1)
+    )
+    assert is_sc_result(program, run.result)
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_programs(max_threads=2, max_ops=3), st.integers(0, 100))
+def test_weak_policies_complete_with_tiny_cache(program, seed):
+    """Liveness under capacity pressure: every policy finishes every
+    random program with a one-line cache, and all writes globally perform."""
+    for factory in (Definition1Policy, AdveHillPolicy, ReleaseConsistencyPolicy):
+        run = run_on_hardware(
+            program, factory(), SystemConfig(seed=seed, cache_capacity=1)
+        )
+        for per_proc in run.raw_accesses:
+            writes = [a for a in per_proc if a.has_write]
+            assert all(a.globally_performed for a in writes)
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_programs(max_threads=2, max_ops=3), st.integers(0, 100))
+def test_rc_policy_deterministic(program, seed):
+    a = run_on_hardware(
+        program, ReleaseConsistencyPolicy(), SystemConfig(seed=seed)
+    )
+    b = run_on_hardware(
+        program, ReleaseConsistencyPolicy(), SystemConfig(seed=seed)
+    )
+    assert a.result == b.result and a.cycles == b.cycles
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_programs(max_threads=2, max_ops=2), st.integers(0, 50))
+def test_bus_run_message_count_positive_for_memory_programs(program, seed):
+    run = run_on_hardware(
+        program, SCPolicy(), SystemConfig(seed=seed, topology="bus")
+    )
+    if program.static_op_count():
+        assert run.messages_sent > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_programs(max_threads=2, max_ops=3), st.integers(0, 100))
+def test_sc_hardware_on_snooping_bus_appears_sc(program, seed):
+    run = run_on_hardware(
+        program,
+        SCPolicy(),
+        SystemConfig(seed=seed, coherence="snoop", topology="bus"),
+    )
+    assert is_sc_result(program, run.result)
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_programs(max_threads=3, max_ops=3), st.integers(0, 100))
+def test_snoop_substrate_liveness_for_weak_policies(program, seed):
+    config = SystemConfig(seed=seed, coherence="snoop", topology="bus")
+    for factory in (Definition1Policy, AdveHillPolicy):
+        run = run_on_hardware(program, factory(), config)
+        for per_proc in run.raw_accesses:
+            assert all(a.committed for a in per_proc)

@@ -1,0 +1,248 @@
+"""Directed tests for coherence-protocol transient races.
+
+Uses a hand-controlled interconnect so message delivery order can be
+forced, exercising the windows the unordered network opens:
+
+* an INVAL overtaking the DATA reply of an outstanding read,
+* a forwarded request overtaking the owner's own DATA_EX,
+* NACK-and-retry round trips,
+* stale write-backs racing ownership transfers.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.core.types import OpKind
+from repro.sim.access import AccessRecord
+from repro.sim.cache import CacheController, LineState
+from repro.sim.directory import Directory
+from repro.sim.events import Simulator
+from repro.sim.messages import Message, MsgKind
+from repro.sim.network import Interconnect
+
+
+class ManualNetwork(Interconnect):
+    """Messages queue; the test decides what gets delivered when."""
+
+    def __init__(self, sim: Simulator) -> None:
+        super().__init__(sim)
+        self.queue = deque()
+
+    def send(self, message: Message) -> None:
+        self.messages_sent += 1
+        self.queue.append(message)
+
+    def deliver_next(self, kind=None, dst=None) -> Message:
+        """Deliver (and return) the first queued message matching the filter."""
+        for i, message in enumerate(self.queue):
+            if kind is not None and message.kind is not kind:
+                continue
+            if dst is not None and message.dst != dst:
+                continue
+            del self.queue[i]
+            self._deliver(message)
+            return message
+        raise AssertionError(
+            f"no queued message kind={kind} dst={dst}; queue="
+            + ", ".join(str(m) for m in self.queue)
+        )
+
+    def drain(self) -> None:
+        """Deliver everything in FIFO order until quiescent."""
+        while self.queue:
+            message = self.queue.popleft()
+            self._deliver(message)
+            self.sim.run()
+
+    def kinds(self):
+        return [m.kind for m in self.queue]
+
+
+def rig(num_caches=2, memory=None, **cache_kwargs):
+    sim = Simulator()
+    net = ManualNetwork(sim)
+    directory = Directory(sim, net, "dir", memory or {"x": 0, "s": 1}, latency=1)
+    caches = [
+        CacheController(sim, net, f"proc{i}", "dir", hit_latency=1, **cache_kwargs)
+        for i in range(num_caches)
+    ]
+    return sim, net, directory, caches
+
+
+def access(uid, kind, loc, write=None, proc=0, po=0):
+    a = AccessRecord(uid, proc, po, kind, loc, write)
+    a.mark_generated(0)
+    return a
+
+
+class TestInvalOvertakesData:
+    def test_read_commits_with_pre_invalidation_value_but_does_not_install(self):
+        sim, net, directory, caches = rig()
+        # proc1 reads x -> GETS queued.
+        r = access(0, OpKind.DATA_READ, "x", proc=1)
+        caches[1].submit(r)
+        net.deliver_next(MsgKind.GETS)          # directory processes GETS
+        sim.run()                               # DATA now queued to proc1
+        assert MsgKind.DATA in net.kinds()
+        # Before DATA arrives, proc0 writes x: directory sends DATA_EX to
+        # proc0 and INVAL to proc1 (a sharer since the GETS was processed).
+        w = access(1, OpKind.DATA_WRITE, "x", write=9, proc=0)
+        caches[0].submit(w)
+        net.deliver_next(MsgKind.GETX)
+        sim.run()
+        # Force the race: INVAL reaches proc1 before its DATA.
+        net.deliver_next(MsgKind.INVAL, dst="proc1")
+        sim.run()
+        assert caches[1].line("x").state is LineState.INVALID
+        net.deliver_next(MsgKind.DATA, dst="proc1")
+        sim.run()
+        # The read is committed with the old value (bound before the write
+        # serialized) but the stale line was not installed.
+        assert r.committed and r.value_read == 0
+        assert caches[1].line("x").state is LineState.INVALID
+        net.drain()
+        assert w.globally_performed
+
+    def test_ack_sent_even_when_line_already_invalid(self):
+        sim, net, directory, caches = rig()
+        inval = Message(MsgKind.INVAL, src="dir", dst="proc0", location="x")
+        net._deliver(inval)
+        sim.run()
+        assert net.queue and net.queue[-1].kind is MsgKind.INVAL_ACK
+
+
+class TestForwardOvertakesData:
+    def test_forward_waits_for_our_data_then_services(self):
+        sim, net, directory, caches = rig()
+        w0 = access(0, OpKind.DATA_WRITE, "x", write=5, proc=0)
+        caches[0].submit(w0)
+        net.deliver_next(MsgKind.GETX)
+        sim.run()
+        # DATA_EX to proc0 is queued; before delivering it, proc1's GETX is
+        # processed and forwarded to proc0 (the new owner per directory).
+        w1 = access(1, OpKind.DATA_WRITE, "x", write=7, proc=1)
+        caches[1].submit(w1)
+        net.deliver_next(MsgKind.GETX)
+        sim.run()
+        # Deliver the forward *before* proc0's own data: must be parked.
+        net.deliver_next(MsgKind.GETX_FWD, dst="proc0")
+        sim.run()
+        assert not w0.committed
+        net.deliver_next(MsgKind.DATA_EX, dst="proc0")
+        sim.run()
+        # proc0 committed its write, then serviced the parked forward.
+        assert w0.committed and w0.value_read is None
+        net.drain()
+        assert w1.committed and caches[1].line("x").value == 7
+        assert caches[0].line("x").state is LineState.INVALID
+
+
+class TestNackRetry:
+    def test_nacked_sync_decrements_counter_and_retries(self):
+        sim, net, directory, caches = rig(
+            use_reserve_bits=True, sync_nack=True, nack_retry_delay=2,
+            memory={"s": 1, "d": 0},
+        )
+        # proc1 warms d so proc0's write needs an ack round.
+        warm = access(0, OpKind.DATA_READ, "d", proc=1)
+        caches[1].submit(warm)
+        net.drain()
+        # proc0: slow write to d, then sync on s (reserve set at commit).
+        w = access(1, OpKind.DATA_WRITE, "d", write=1, proc=0)
+        s = access(2, OpKind.SYNC_WRITE, "s", write=0, proc=0, po=1)
+        caches[0].submit(w)
+        caches[0].submit(s)
+        net.deliver_next(MsgKind.GETX)           # d at directory
+        sim.run()
+        net.deliver_next(MsgKind.GETX)           # s at directory
+        sim.run()
+        net.deliver_next(MsgKind.DATA_EX, dst="proc0")  # d data (acks pending)
+        sim.run()
+        net.deliver_next(MsgKind.DATA_EX, dst="proc0")  # s data -> sync commits
+        sim.run()
+        assert s.committed
+        assert caches[0].line("s").reserved      # w not globally performed yet
+        # proc1 tries to sync on s: forwarded to proc0, which NACKs.
+        remote = access(3, OpKind.SYNC_RMW, "s", write=1, proc=1, po=1)
+        caches[1].submit(remote)
+        net.deliver_next(MsgKind.GETX)
+        sim.run()
+        net.deliver_next(MsgKind.GETX_FWD, dst="proc0")
+        sim.run()
+        assert MsgKind.NACK in net.kinds()
+        net.deliver_next(MsgKind.NACK, dst="proc1")
+        sim.run()  # the NACK decremented the counter; the retry timer has
+        # already re-fired inside run(), re-issuing a fresh GETX
+        retries = [
+            m for m in net.queue
+            if m.kind is MsgKind.GETX and m.src == "proc1" and m.location == "s"
+        ]
+        assert retries, "nacked sync should retry with a new GETX"
+        net.deliver_next(MsgKind.NACK_DONE)
+        sim.run()
+        # Let the write's invalidation round finish; reserve clears.
+        net.drain()
+        assert w.globally_performed
+        assert not caches[0].line("s").reserved
+        assert remote.committed and remote.value_read == 0
+
+    def test_stall_mode_queues_instead(self):
+        sim, net, directory, caches = rig(
+            use_reserve_bits=True, sync_nack=False,
+            memory={"s": 1, "d": 0},
+        )
+        warm = access(0, OpKind.DATA_READ, "d", proc=1)
+        caches[1].submit(warm)
+        net.drain()
+        w = access(1, OpKind.DATA_WRITE, "d", write=1, proc=0)
+        s = access(2, OpKind.SYNC_WRITE, "s", write=0, proc=0, po=1)
+        caches[0].submit(w)
+        caches[0].submit(s)
+        net.deliver_next(MsgKind.GETX)
+        sim.run()
+        net.deliver_next(MsgKind.GETX)
+        sim.run()
+        net.deliver_next(MsgKind.DATA_EX, dst="proc0")
+        sim.run()
+        net.deliver_next(MsgKind.DATA_EX, dst="proc0")
+        sim.run()
+        remote = access(3, OpKind.SYNC_RMW, "s", write=1, proc=1, po=1)
+        caches[1].submit(remote)
+        net.deliver_next(MsgKind.GETX)
+        sim.run()
+        net.deliver_next(MsgKind.GETX_FWD, dst="proc0")
+        sim.run()
+        assert caches[0]._stalled_forwards      # queued, not nacked
+        assert MsgKind.NACK not in net.kinds()
+        net.drain()
+        assert remote.committed                  # released at counter == 0
+
+
+class TestEvictionTransients:
+    def test_forward_on_evicting_line_is_serviced_and_wb_goes_stale(self):
+        sim, net, directory, caches = rig(capacity=1, memory={"x": 0, "y": 0})
+        w = access(0, OpKind.DATA_WRITE, "x", write=5, proc=0)
+        caches[0].submit(w)
+        net.drain()
+        assert caches[0].line("x").state is LineState.MODIFIED
+        # proc0 touches y -> must evict x (dirty): WB_EVICT queued.
+        r = access(1, OpKind.DATA_READ, "y", proc=0, po=1)
+        caches[0].submit(r)
+        assert MsgKind.WB_EVICT in net.kinds()
+        # Before the WB_EVICT is processed, proc1 requests x; the directory
+        # (still believing proc0 owns x) forwards -- deliver the GETX first.
+        r1 = access(2, OpKind.DATA_READ, "x", proc=1)
+        caches[1].submit(r1)
+        net.deliver_next(MsgKind.GETS, dst="dir")
+        sim.run()
+        net.deliver_next(MsgKind.GETS_FWD, dst="proc0")
+        sim.run()
+        # proc0 serviced the forward from its still-present copy.
+        net.deliver_next(MsgKind.DATA, dst="proc1")
+        sim.run()
+        assert r1.committed and r1.value_read == 5
+        # Now the stale WB_EVICT reaches the directory: acknowledged, no-op.
+        net.drain()
+        assert r.committed  # the eviction eventually unblocked the y read
+        assert directory.memory["x"] == 5  # via the WB_DATA downgrade

@@ -1,0 +1,201 @@
+"""Unit tests for the relation toolkit and the paper's po/so/hb relations."""
+
+import pytest
+
+from repro.core.models import DRF0_MODEL, DRF1_MODEL
+from repro.core.ops import Operation
+from repro.core.relations import (
+    Relation,
+    happens_before,
+    program_order,
+    synchronization_order,
+)
+from repro.core.types import OpKind
+
+from helpers import execution_from_specs
+
+
+class TestRelation:
+    def test_ordered_follows_edges_transitively(self):
+        r = Relation()
+        r.add(1, 2)
+        r.add(2, 3)
+        assert r.ordered(1, 3)
+        assert not r.ordered(3, 1)
+        assert not r.ordered(1, 1)
+
+    def test_transitive_closure_adds_implied_edges(self):
+        r = Relation()
+        r.add("a", "b")
+        r.add("b", "c")
+        closure = r.transitive_closure()
+        assert closure.has_edge("a", "c")
+        assert not closure.has_edge("c", "a")
+
+    def test_union(self):
+        r1, r2 = Relation(), Relation()
+        r1.add(1, 2)
+        r2.add(2, 3)
+        merged = r1.union(r2)
+        assert merged.has_edge(1, 2) and merged.has_edge(2, 3)
+
+    def test_acyclicity(self):
+        r = Relation()
+        r.add(1, 2)
+        r.add(2, 3)
+        assert r.is_acyclic()
+        r.add(3, 1)
+        assert not r.is_acyclic()
+
+    def test_self_loop_is_a_cycle(self):
+        r = Relation()
+        r.add(1, 1)
+        assert not r.is_acyclic()
+
+    def test_topological_order_consistent(self):
+        r = Relation()
+        r.add("a", "b")
+        r.add("b", "c")
+        r.add("a", "c")
+        order = r.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_topological_order_rejects_cycles(self):
+        r = Relation()
+        r.add(1, 2)
+        r.add(2, 1)
+        with pytest.raises(ValueError):
+            r.topological_order()
+
+    def test_isolated_nodes_kept(self):
+        r = Relation(nodes=[1, 2, 3])
+        r.add(1, 2)
+        assert 3 in r.nodes
+        assert 3 in r.topological_order()
+
+    def test_len_counts_edges(self):
+        r = Relation()
+        r.add(1, 2)
+        r.add(1, 3)
+        assert len(r) == 2
+
+    def test_ordered_either_way(self):
+        r = Relation()
+        r.add(1, 2)
+        assert r.ordered_either_way(2, 1)
+        assert not r.ordered_either_way(1, 3)
+
+
+class TestPaperRelations:
+    def _paper_chain(self):
+        """The hb example from Section 4 of the paper:
+
+        op(P1,x) po S(P1,s) so S(P2,s) po S(P2,t) so S(P3,t) po op(P3,x)
+
+        (completion order: each listed op completes in sequence).
+        """
+        W, S = OpKind.DATA_WRITE, OpKind.SYNC_RMW
+        R = OpKind.DATA_READ
+        return execution_from_specs(
+            [
+                (0, W, "x", None, 1),       # op(P1,x) -- proc index 0 plays P1
+                (0, S, "s", 0, 1),          # S(P1,s)
+                (1, S, "s", 1, 2),          # S(P2,s)
+                (1, S, "t", 0, 1),          # S(P2,t)
+                (2, S, "t", 1, 2),          # S(P3,t)
+                (2, R, "x", 1, None),       # op(P3,x)
+            ],
+            num_procs=3,
+        )
+
+    def test_program_order_edges(self):
+        execution = self._paper_chain()
+        po = program_order(execution)
+        ops = execution.ops
+        assert po.has_edge(ops[0], ops[1])
+        assert po.has_edge(ops[2], ops[3])
+        assert po.has_edge(ops[4], ops[5])
+        assert not po.has_edge(ops[1], ops[2])  # different processors
+
+    def test_sync_order_same_location_only(self):
+        execution = self._paper_chain()
+        so = synchronization_order(execution)
+        ops = execution.ops
+        assert so.has_edge(ops[1], ops[2])  # both on s
+        assert so.has_edge(ops[3], ops[4])  # both on t
+        assert not so.has_edge(ops[1], ops[3])  # s vs t
+        assert not so.has_edge(ops[0], ops[1])  # data op not in so
+
+    def test_paper_example_transitive_chain(self):
+        """The paper concludes op(P1,x) hb op(P3,x)."""
+        execution = self._paper_chain()
+        hb = happens_before(execution)
+        assert hb.ordered(execution.ops[0], execution.ops[5])
+        assert not hb.ordered(execution.ops[5], execution.ops[0])
+
+    def test_hb_is_irreflexive(self):
+        execution = self._paper_chain()
+        hb = happens_before(execution)
+        for op in execution.ops:
+            assert not hb.has_edge(op, op)
+
+    def test_sync_order_respects_completion_order(self):
+        W, S = OpKind.DATA_WRITE, OpKind.SYNC_WRITE
+        execution = execution_from_specs(
+            [(1, S, "s", None, 0), (0, S, "s", None, 0)], num_procs=2
+        )
+        so = synchronization_order(execution)
+        first, second = execution.ops
+        assert so.has_edge(first, second)
+        assert not so.has_edge(second, first)
+
+
+class TestModelFilteredSyncOrder:
+    def _release_then_acquire(self):
+        """P0: Unset(s); P1: Test(s) -- write-only sync then read-only sync."""
+        return execution_from_specs(
+            [
+                (0, OpKind.SYNC_WRITE, "s", None, 0),
+                (1, OpKind.SYNC_READ, "s", 0, None),
+            ],
+            num_procs=2,
+        )
+
+    def _acquire_then_release(self):
+        """P0: Test(s); P1: Unset(s) -- read-only sync completes first."""
+        return execution_from_specs(
+            [
+                (0, OpKind.SYNC_READ, "s", 1, None),
+                (1, OpKind.SYNC_WRITE, "s", None, 0),
+            ],
+            num_procs=2,
+        )
+
+    def test_drf0_orders_all_sync_pairs(self):
+        for execution in (self._release_then_acquire(), self._acquire_then_release()):
+            so = synchronization_order(execution, DRF0_MODEL)
+            a, b = execution.ops
+            assert so.has_edge(a, b)
+
+    def test_drf1_only_release_to_acquire(self):
+        so = synchronization_order(self._release_then_acquire(), DRF1_MODEL)
+        a, b = self._release_then_acquire().ops
+        assert so.has_edge(a, b)
+
+        execution = self._acquire_then_release()
+        so = synchronization_order(execution, DRF1_MODEL)
+        a, b = execution.ops
+        # Test (read-only) does not release, so no so edge under DRF1.
+        assert not so.has_edge(a, b)
+
+    def test_rmw_is_both_acquire_and_release_under_drf1(self):
+        execution = execution_from_specs(
+            [
+                (0, OpKind.SYNC_RMW, "s", 0, 1),
+                (1, OpKind.SYNC_RMW, "s", 1, 1),
+            ],
+            num_procs=2,
+        )
+        so = synchronization_order(execution, DRF1_MODEL)
+        a, b = execution.ops
+        assert so.has_edge(a, b)

@@ -1,0 +1,103 @@
+"""Tests for the release-consistency comparison policy (RCsc)."""
+
+import pytest
+
+from repro.core.contract import is_sc_result
+from repro.core.types import OpKind
+from repro.hw import (
+    AdveHillPolicy,
+    BlockLevel,
+    Definition1Policy,
+    ReleaseConsistencyPolicy,
+)
+from repro.sim.system import SystemConfig, run_on_hardware
+from repro.workloads import lock_workload, phase_parallel_workload
+
+from helpers import lock_increment_program, message_passing_program
+from test_hw_policies import FakeProcessor, make_access
+
+
+class TestGateLogic:
+    def test_release_gates_on_everything_prior(self):
+        w = make_access(0, OpKind.DATA_WRITE, "committed")  # not yet GP
+        proc = FakeProcessor([w])
+        gates = ReleaseConsistencyPolicy().generation_gate(
+            proc, make_access(1, OpKind.SYNC_WRITE)
+        )
+        assert {g.access.uid for g in gates} == {0}
+        assert all(g.level is BlockLevel.GP for g in gates)
+
+    def test_acquire_does_not_gate_on_prior_data(self):
+        """The RC relaxation Definition 1 lacks: a pure acquire ignores
+        earlier data accesses."""
+        w = make_access(0, OpKind.DATA_WRITE, "committed")  # not GP
+        proc = FakeProcessor([w])
+        gates = ReleaseConsistencyPolicy().generation_gate(
+            proc, make_access(1, OpKind.SYNC_READ)
+        )
+        assert gates == []
+
+    def test_acquire_gates_on_prior_syncs(self):
+        """The 'sc' in RCsc: sync accesses stay SC among themselves."""
+        s = make_access(0, OpKind.SYNC_WRITE, "committed")  # not GP
+        proc = FakeProcessor([s])
+        gates = ReleaseConsistencyPolicy().generation_gate(
+            proc, make_access(1, OpKind.SYNC_READ)
+        )
+        assert {g.access.uid for g in gates} == {0}
+
+    def test_data_after_release_is_free(self):
+        s = make_access(0, OpKind.SYNC_WRITE, "committed")  # release, not GP
+        proc = FakeProcessor([s])
+        gates = ReleaseConsistencyPolicy().generation_gate(
+            proc, make_access(1, OpKind.DATA_WRITE)
+        )
+        assert gates == []
+
+    def test_rmw_counts_as_release(self):
+        w = make_access(0, OpKind.DATA_WRITE, "committed")
+        proc = FakeProcessor([w])
+        gates = ReleaseConsistencyPolicy().generation_gate(
+            proc, make_access(1, OpKind.SYNC_RMW)
+        )
+        assert {g.access.uid for g in gates} == {0}
+
+
+class TestContract:
+    @pytest.mark.parametrize(
+        "program_factory",
+        [lambda: message_passing_program(sync=True),
+         lambda: lock_increment_program(2),
+         lambda: phase_parallel_workload(3, 2, 1)],
+    )
+    def test_appears_sc_on_drf0_programs(self, program_factory):
+        program = program_factory()
+        for seed in range(10):
+            run = run_on_hardware(
+                program, ReleaseConsistencyPolicy(), SystemConfig(seed=seed)
+            )
+            assert is_sc_result(program, run.result)
+
+
+class TestPerformancePosition:
+    def test_rc_not_slower_than_def1_on_phases(self):
+        program = phase_parallel_workload(4, 4, 2)
+
+        def mean(factory):
+            return sum(
+                run_on_hardware(program, factory(), SystemConfig(seed=s)).cycles
+                for s in range(6)
+            ) / 6
+
+        assert mean(ReleaseConsistencyPolicy) <= mean(Definition1Policy) * 1.02
+
+    def test_adve_hill_still_wins_on_locks(self):
+        program = lock_workload(4, 2)
+
+        def mean(factory):
+            return sum(
+                run_on_hardware(program, factory(), SystemConfig(seed=s)).cycles
+                for s in range(6)
+            ) / 6
+
+        assert mean(AdveHillPolicy) < mean(ReleaseConsistencyPolicy)

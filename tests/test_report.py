@@ -1,0 +1,76 @@
+"""Tests for the run-report rendering (tables, timelines, summaries)."""
+
+from repro.hw import AdveHillPolicy, Definition1Policy, SCPolicy
+from repro.report import access_table, summarize, timeline
+from repro.sim.system import SystemConfig, run_on_hardware
+
+from helpers import lock_increment_program, message_passing_program
+
+
+def run_once(policy_factory=AdveHillPolicy, caches=True):
+    return run_on_hardware(
+        message_passing_program(sync=True),
+        policy_factory(),
+        SystemConfig(seed=4, caches=caches),
+    )
+
+
+class TestAccessTable:
+    def test_lists_every_access(self):
+        run = run_once()
+        table = access_table(run)
+        total = sum(len(a) for a in run.raw_accesses)
+        # header + rule + one line per access
+        assert len(table.splitlines()) == total + 2
+
+    def test_contains_kinds_and_locations(self):
+        table = access_table(run_once())
+        assert "Sw" in table  # the Unset
+        assert "flag" in table and "data" in table
+
+    def test_uncommitted_fields_render_as_dash(self):
+        run = run_once()
+        assert "-" in access_table(run)
+
+
+class TestTimeline:
+    def test_one_lane_per_access(self):
+        run = run_once()
+        art = timeline(run, width=40)
+        total = sum(len(a) for a in run.raw_accesses)
+        lanes = [l for l in art.splitlines() if l.endswith("|")]
+        assert len(lanes) == total
+
+    def test_globally_performed_marked(self):
+        art = timeline(run_once(), width=40)
+        assert "G" in art
+
+    def test_header_mentions_policy_and_cycles(self):
+        run = run_once(SCPolicy)
+        art = timeline(run)
+        assert "sequential-consistency" in art
+        assert str(run.cycles) in art
+
+
+class TestSummarize:
+    def test_cache_stats_included(self):
+        text = summarize(run_once())
+        assert "hits=" in text and "misses=" in text
+        assert "directory:" in text
+
+    def test_cacheless_summary_has_no_cache_stats(self):
+        run = run_on_hardware(
+            message_passing_program(sync=True),
+            SCPolicy(),
+            SystemConfig(seed=1, caches=False),
+        )
+        text = summarize(run)
+        assert "hits=" not in text
+        assert "directory:" not in text
+
+    def test_stall_cycles_reported(self):
+        run = run_on_hardware(
+            lock_increment_program(2), Definition1Policy(), SystemConfig(seed=2)
+        )
+        text = summarize(run)
+        assert "gate-stall=" in text and "block-stall=" in text

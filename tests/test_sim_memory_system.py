@@ -1,0 +1,390 @@
+"""Unit tests for the memory module, cacheless port, cache, and directory."""
+
+import pytest
+
+from repro.core.types import OpKind
+from repro.sim.access import AccessRecord
+from repro.sim.cache import CacheController, LineState
+from repro.sim.directory import Directory
+from repro.sim.events import Simulator
+from repro.sim.memory import CachelessPort, MemoryModule
+from repro.sim.messages import Message, MsgKind
+from repro.sim.network import GeneralNetwork
+
+
+def make_access(uid, kind, loc, write=None, proc=0, po=0):
+    return AccessRecord(uid, proc, po, kind, loc, write)
+
+
+def cacheless_rig(write_buffer=True, drain_delay=3, jitter=0, seed=0):
+    sim = Simulator()
+    net = GeneralNetwork(sim, latency=2, jitter=jitter, seed=seed)
+    mem = MemoryModule(sim, net, "mem", {"x": 0, "y": 7}, latency=2)
+    port = CachelessPort(
+        sim, net, "proc0", "mem", write_buffer=write_buffer, drain_delay=drain_delay
+    )
+    return sim, net, mem, port
+
+
+class TestMemoryModuleAndPort:
+    def test_read_returns_memory_value(self):
+        sim, net, mem, port = cacheless_rig()
+        a = make_access(0, OpKind.DATA_READ, "y")
+        a.mark_generated(0)
+        port.submit(a)
+        sim.run()
+        assert a.value_read == 7
+        assert a.committed and a.globally_performed
+
+    def test_write_applies_and_acks(self):
+        sim, net, mem, port = cacheless_rig()
+        a = make_access(0, OpKind.DATA_WRITE, "x", write=5)
+        a.mark_generated(0)
+        port.submit(a)
+        sim.run()
+        assert mem.values["x"] == 5
+        assert a.globally_performed
+
+    def test_buffered_write_commits_immediately(self):
+        sim, net, mem, port = cacheless_rig(drain_delay=10)
+        a = make_access(0, OpKind.DATA_WRITE, "x", write=5)
+        a.mark_generated(0)
+        port.submit(a)
+        assert a.committed  # store buffer commit point
+        assert not a.globally_performed
+        sim.run()
+        assert a.globally_performed and mem.values["x"] == 5
+
+    def test_store_to_load_forwarding(self):
+        sim, net, mem, port = cacheless_rig(drain_delay=50)
+        w = make_access(0, OpKind.DATA_WRITE, "x", write=9)
+        w.mark_generated(0)
+        port.submit(w)
+        r = make_access(1, OpKind.DATA_READ, "x")
+        r.mark_generated(0)
+        port.submit(r)
+        # forwarded synchronously from the buffer
+        assert r.value_read == 9
+
+    def test_read_bypasses_buffered_write_to_other_location(self):
+        sim, net, mem, port = cacheless_rig(drain_delay=50)
+        w = make_access(0, OpKind.DATA_WRITE, "x", write=9)
+        w.mark_generated(0)
+        port.submit(w)
+        r = make_access(1, OpKind.DATA_READ, "y")
+        r.mark_generated(0)
+        port.submit(r)
+        sim.run(until=20)
+        assert r.committed and r.value_read == 7
+        assert not w.globally_performed  # still sitting in the buffer
+
+    def test_rmw_is_atomic_at_module(self):
+        sim, net, mem, port = cacheless_rig()
+        a = make_access(0, OpKind.SYNC_RMW, "x", write=1)
+        a.mark_generated(0)
+        port.submit(a)
+        sim.run()
+        assert a.value_read == 0
+        assert mem.values["x"] == 1
+
+    def test_sync_write_not_buffered(self):
+        sim, net, mem, port = cacheless_rig(drain_delay=50)
+        a = make_access(0, OpKind.SYNC_WRITE, "s", write=0)
+        a.mark_generated(0)
+        port.submit(a)
+        assert not a.committed  # goes straight to memory, no buffer commit
+        sim.run()
+        assert a.globally_performed
+
+    def test_write_buffer_disabled_sends_directly(self):
+        sim, net, mem, port = cacheless_rig(write_buffer=False)
+        a = make_access(0, OpKind.DATA_WRITE, "x", write=3)
+        a.mark_generated(0)
+        port.submit(a)
+        assert not a.committed
+        sim.run()
+        assert a.committed and a.globally_performed
+
+
+def cache_rig(num_caches=2, jitter=0, seed=0, use_reserve=False, drf1=False,
+              miss_limit=None, memory=None):
+    sim = Simulator()
+    net = GeneralNetwork(sim, latency=2, jitter=jitter, seed=seed)
+    directory = Directory(sim, net, "dir", memory or {"x": 0, "s": 1}, latency=2)
+    caches = [
+        CacheController(
+            sim,
+            net,
+            f"proc{i}",
+            "dir",
+            hit_latency=1,
+            use_reserve_bits=use_reserve,
+            drf1_optimized=drf1,
+            reserved_miss_limit=miss_limit,
+        )
+        for i in range(num_caches)
+    ]
+    return sim, net, directory, caches
+
+
+class TestCacheProtocol:
+    def test_read_miss_installs_shared(self):
+        sim, net, directory, caches = cache_rig()
+        a = make_access(0, OpKind.DATA_READ, "x")
+        a.mark_generated(0)
+        caches[0].submit(a)
+        sim.run()
+        assert a.value_read == 0
+        assert caches[0].line("x").state is LineState.SHARED
+        assert directory.entry("x").sharers == {"proc0"}
+
+    def test_write_miss_installs_modified(self):
+        sim, net, directory, caches = cache_rig()
+        a = make_access(0, OpKind.DATA_WRITE, "x", write=4)
+        a.mark_generated(0)
+        caches[0].submit(a)
+        sim.run()
+        line = caches[0].line("x")
+        assert line.state is LineState.MODIFIED and line.value == 4
+        assert directory.entry("x").owner == "proc0"
+        assert a.globally_performed  # uncached line: GP on receipt
+
+    def test_write_hit_on_modified_is_immediate_gp(self):
+        sim, net, directory, caches = cache_rig()
+        w1 = make_access(0, OpKind.DATA_WRITE, "x", write=1)
+        w1.mark_generated(0)
+        caches[0].submit(w1)
+        sim.run()
+        w2 = make_access(1, OpKind.DATA_WRITE, "x", write=2, po=1)
+        w2.mark_generated(sim.now)
+        caches[0].submit(w2)
+        sim.run()
+        assert caches[0].hits == 1
+        assert w2.globally_performed
+        assert caches[0].line("x").value == 2
+
+    def test_upgrade_invalidates_sharer(self):
+        sim, net, directory, caches = cache_rig()
+        r0 = make_access(0, OpKind.DATA_READ, "x")
+        r1 = make_access(1, OpKind.DATA_READ, "x", proc=1)
+        for cache, access in zip(caches, (r0, r1)):
+            access.mark_generated(0)
+            cache.submit(access)
+        sim.run()
+        assert directory.entry("x").sharers == {"proc0", "proc1"}
+        w = make_access(2, OpKind.DATA_WRITE, "x", write=9, po=1)
+        w.mark_generated(sim.now)
+        caches[0].submit(w)
+        sim.run()
+        assert caches[1].line("x").state is LineState.INVALID
+        assert w.committed and w.globally_performed
+        assert directory.entry("x").owner == "proc0"
+        assert w.gp_time >= w.commit_time  # commit at grant, GP at acks
+
+    def test_commit_precedes_gp_for_contested_write(self):
+        """The commit point ('modifies the copy in its cache') comes before
+        global performance (all invalidation acks collected)."""
+        sim, net, directory, caches = cache_rig()
+        r1 = make_access(0, OpKind.DATA_READ, "x", proc=1)
+        r1.mark_generated(0)
+        caches[1].submit(r1)
+        sim.run()
+        w = make_access(1, OpKind.DATA_WRITE, "x", write=9)
+        w.mark_generated(sim.now)
+        caches[0].submit(w)
+        sim.run()
+        assert w.commit_time < w.gp_time
+
+    def test_read_forwarded_from_owner(self):
+        sim, net, directory, caches = cache_rig()
+        w = make_access(0, OpKind.DATA_WRITE, "x", write=6)
+        w.mark_generated(0)
+        caches[0].submit(w)
+        sim.run()
+        r = make_access(1, OpKind.DATA_READ, "x", proc=1)
+        r.mark_generated(sim.now)
+        caches[1].submit(r)
+        sim.run()
+        assert r.value_read == 6
+        assert caches[0].line("x").state is LineState.SHARED
+        assert directory.entry("x").owner is None
+        assert directory.entry("x").sharers == {"proc0", "proc1"}
+        assert directory.memory["x"] == 6  # write-back happened
+
+    def test_write_forwarded_ownership_transfer(self):
+        sim, net, directory, caches = cache_rig()
+        w0 = make_access(0, OpKind.DATA_WRITE, "x", write=6)
+        w0.mark_generated(0)
+        caches[0].submit(w0)
+        sim.run()
+        w1 = make_access(1, OpKind.DATA_WRITE, "x", write=7, proc=1)
+        w1.mark_generated(sim.now)
+        caches[1].submit(w1)
+        sim.run()
+        assert caches[0].line("x").state is LineState.INVALID
+        assert caches[1].line("x").value == 7
+        assert directory.entry("x").owner == "proc1"
+        assert w1.globally_performed  # previously-exclusive line: GP on receipt
+
+    def test_rmw_reads_old_writes_new(self):
+        sim, net, directory, caches = cache_rig()
+        a = make_access(0, OpKind.SYNC_RMW, "s", write=1)
+        a.mark_generated(0)
+        caches[0].submit(a)
+        sim.run()
+        assert a.value_read == 1  # initial value of s
+        assert caches[0].line("s").value == 1
+
+    def test_local_accesses_queue_behind_transaction(self):
+        sim, net, directory, caches = cache_rig()
+        a1 = make_access(0, OpKind.DATA_READ, "x")
+        a2 = make_access(1, OpKind.DATA_READ, "x", po=1)
+        a1.mark_generated(0)
+        a2.mark_generated(0)
+        caches[0].submit(a1)
+        caches[0].submit(a2)  # queued: same line, transaction open
+        sim.run()
+        assert a1.committed and a2.committed
+        assert caches[0].misses == 1  # second was a hit after install
+
+    def test_deep_same_line_queue_fully_drains(self):
+        """Regression (hypothesis-found): several accesses queued behind one
+        transaction must all complete even when the later ones are hits."""
+        sim, net, directory, caches = cache_rig()
+        accesses = [
+            make_access(0, OpKind.DATA_WRITE, "x", write=1),
+            make_access(1, OpKind.DATA_WRITE, "x", write=2, po=1),
+            make_access(2, OpKind.DATA_READ, "x", po=2),
+            make_access(3, OpKind.DATA_WRITE, "x", write=3, po=3),
+        ]
+        for a in accesses:
+            a.mark_generated(0)
+            caches[0].submit(a)
+        sim.run()
+        assert all(a.committed for a in accesses)
+        assert accesses[2].value_read == 2  # per-line program order held
+        assert caches[0].line("x").value == 3
+
+
+class TestReserveBits:
+    def test_sync_commit_with_outstanding_write_sets_reserve(self):
+        sim, net, directory, caches = cache_rig(use_reserve=True,
+                                                memory={"x": 0, "s": 1, "d": 0})
+        # Give proc1 a shared copy of d so proc0's write needs an ack round.
+        warm = make_access(0, OpKind.DATA_READ, "d", proc=1)
+        warm.mark_generated(0)
+        caches[1].submit(warm)
+        sim.run()
+        w = make_access(1, OpKind.DATA_WRITE, "d", write=1)
+        w.mark_generated(sim.now)
+        caches[0].submit(w)
+        s = make_access(2, OpKind.SYNC_WRITE, "s", write=0, po=1)
+        s.mark_generated(sim.now)
+        caches[0].submit(s)
+        sim.run(until=sim.now + 6)  # enough for s, not for d's ack round trip
+        if s.committed and not w.globally_performed:
+            assert caches[0].line("s").reserved
+        sim.run()
+        # when the counter drains, all reserve bits clear
+        assert not caches[0].line("s").reserved
+        assert not caches[0].reserved_lines
+
+    def test_forward_to_reserved_line_stalls_until_counter_zero(self):
+        sim, net, directory, caches = cache_rig(use_reserve=True,
+                                                memory={"x": 0, "s": 1, "d": 0})
+        warm = make_access(0, OpKind.DATA_READ, "d", proc=1)
+        warm.mark_generated(0)
+        caches[1].submit(warm)
+        sim.run()
+        w = make_access(1, OpKind.DATA_WRITE, "d", write=1)
+        s = make_access(2, OpKind.SYNC_WRITE, "s", write=0, po=1)
+        w.mark_generated(sim.now)
+        s.mark_generated(sim.now)
+        caches[0].submit(w)
+        caches[0].submit(s)
+        remote = make_access(3, OpKind.SYNC_RMW, "s", write=1, proc=1)
+        remote.mark_generated(sim.now)
+        caches[1].submit(remote)
+        sim.run()
+        # Condition 5 observable consequence: the remote sync commits only
+        # after proc0's earlier write is globally performed.
+        assert remote.committed
+        assert w.gp_time <= remote.commit_time
+        assert remote.value_read == 0  # saw the Unset value
+
+    def test_drf1_optimized_sync_read_takes_read_path(self):
+        sim, net, directory, caches = cache_rig(use_reserve=True, drf1=True)
+        t = make_access(0, OpKind.SYNC_READ, "s")
+        t.mark_generated(0)
+        caches[0].submit(t)
+        sim.run()
+        assert caches[0].line("s").state is LineState.SHARED
+        assert t.value_read == 1
+
+    def test_non_optimized_sync_read_takes_write_path(self):
+        sim, net, directory, caches = cache_rig(use_reserve=True, drf1=False)
+        t = make_access(0, OpKind.SYNC_READ, "s")
+        t.mark_generated(0)
+        caches[0].submit(t)
+        sim.run()
+        assert caches[0].line("s").state is LineState.MODIFIED
+        assert t.value_read == 1
+
+    def test_reserved_miss_limit_defers_misses(self):
+        sim, net, directory, caches = cache_rig(
+            use_reserve=True, miss_limit=1,
+            memory={"s": 1, "d": 0, "e": 0, "f": 0},
+        )
+        warm = make_access(0, OpKind.DATA_READ, "d", proc=1)
+        warm.mark_generated(0)
+        caches[1].submit(warm)
+        sim.run()
+        w = make_access(1, OpKind.DATA_WRITE, "d", write=1)
+        s = make_access(2, OpKind.SYNC_WRITE, "s", write=0, po=1)
+        m1 = make_access(3, OpKind.DATA_READ, "e", po=2)
+        m2 = make_access(4, OpKind.DATA_READ, "f", po=3)
+        for a in (w, s, m1, m2):
+            a.mark_generated(sim.now)
+            caches[0].submit(a)
+        sim.run()
+        # everything still completes (the limit only defers, never drops)
+        assert m1.committed and m2.committed and s.globally_performed
+
+
+class TestDirectoryInvariants:
+    def test_per_line_serialization_queues_requests(self):
+        sim, net, directory, caches = cache_rig(num_caches=3)
+        accesses = []
+        for i in range(3):
+            a = make_access(i, OpKind.DATA_WRITE, "x", write=i + 1, proc=i)
+            a.mark_generated(0)
+            caches[i].submit(a)
+            accesses.append(a)
+        sim.run()
+        # all three writes complete and exactly one cache owns the line
+        assert all(a.globally_performed for a in accesses)
+        owner = directory.entry("x").owner
+        owners = [c for c in caches if c.line("x").state is LineState.MODIFIED]
+        assert len(owners) == 1 and owners[0].node_id == owner
+
+    def test_final_value_prefers_modified_copy(self):
+        sim, net, directory, caches = cache_rig()
+        w = make_access(0, OpKind.DATA_WRITE, "x", write=5)
+        w.mark_generated(0)
+        caches[0].submit(w)
+        sim.run()
+        assert directory.final_value("x", caches) == 5
+        assert directory.memory["x"] == 0  # memory itself is stale
+
+    def test_invalidation_counts(self):
+        sim, net, directory, caches = cache_rig(num_caches=3)
+        for i in range(3):
+            r = make_access(i, OpKind.DATA_READ, "x", proc=i)
+            r.mark_generated(0)
+            caches[i].submit(r)
+        sim.run()
+        w = make_access(3, OpKind.DATA_WRITE, "x", write=1, po=1)
+        w.mark_generated(sim.now)
+        caches[0].submit(w)
+        sim.run()
+        assert directory.invalidations_sent == 2  # the two other sharers

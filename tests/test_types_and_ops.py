@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.types and repro.core.ops."""
+
+import pytest
+
+from repro.core.ops import Operation, conflicts, same_location_syncs
+from repro.core.types import Condition, OpKind
+
+
+def op(kind, loc="x", proc=0, read=None, written=None, uid=0, po=0):
+    return Operation(uid, proc, po, kind, loc, read, written)
+
+
+class TestOpKind:
+    def test_sync_classification(self):
+        assert OpKind.SYNC_READ.is_sync
+        assert OpKind.SYNC_WRITE.is_sync
+        assert OpKind.SYNC_RMW.is_sync
+        assert not OpKind.DATA_READ.is_sync
+        assert not OpKind.DATA_WRITE.is_sync
+
+    def test_read_components(self):
+        assert OpKind.DATA_READ.has_read
+        assert OpKind.SYNC_READ.has_read
+        assert OpKind.SYNC_RMW.has_read
+        assert not OpKind.DATA_WRITE.has_read
+        assert not OpKind.SYNC_WRITE.has_read
+
+    def test_write_components(self):
+        assert OpKind.DATA_WRITE.has_write
+        assert OpKind.SYNC_WRITE.has_write
+        assert OpKind.SYNC_RMW.has_write
+        assert not OpKind.DATA_READ.has_write
+        assert not OpKind.SYNC_READ.has_write
+
+    def test_rmw_has_both_components(self):
+        assert OpKind.SYNC_RMW.has_read and OpKind.SYNC_RMW.has_write
+
+
+class TestCondition:
+    @pytest.mark.parametrize(
+        "cond,lhs,rhs,expected",
+        [
+            (Condition.EQ, 1, 1, True),
+            (Condition.EQ, 1, 2, False),
+            (Condition.NE, 1, 2, True),
+            (Condition.NE, 2, 2, False),
+            (Condition.LT, 1, 2, True),
+            (Condition.LT, 2, 2, False),
+            (Condition.LE, 2, 2, True),
+            (Condition.LE, 3, 2, False),
+            (Condition.GT, 3, 2, True),
+            (Condition.GT, 2, 2, False),
+            (Condition.GE, 2, 2, True),
+            (Condition.GE, 1, 2, False),
+        ],
+    )
+    def test_evaluate(self, cond, lhs, rhs, expected):
+        assert cond.evaluate(lhs, rhs) is expected
+
+
+class TestConflicts:
+    def test_write_write_same_location(self):
+        assert conflicts(
+            op(OpKind.DATA_WRITE, written=1), op(OpKind.DATA_WRITE, written=2)
+        )
+
+    def test_read_write_same_location(self):
+        assert conflicts(op(OpKind.DATA_READ, read=0), op(OpKind.DATA_WRITE, written=1))
+
+    def test_read_read_does_not_conflict(self):
+        assert not conflicts(op(OpKind.DATA_READ, read=0), op(OpKind.DATA_READ, read=0))
+
+    def test_different_locations_never_conflict(self):
+        assert not conflicts(
+            op(OpKind.DATA_WRITE, "x", written=1),
+            op(OpKind.DATA_WRITE, "y", written=1),
+        )
+
+    def test_sync_rmw_counts_as_writer(self):
+        assert conflicts(op(OpKind.SYNC_RMW, read=0, written=1), op(OpKind.DATA_READ, read=0))
+
+    def test_sync_read_pair_does_not_conflict(self):
+        assert not conflicts(op(OpKind.SYNC_READ, read=0), op(OpKind.SYNC_READ, read=0))
+
+    def test_data_read_vs_sync_write_conflicts(self):
+        # Spinning on a sync location with a *data* read conflicts with the
+        # sync write -- exactly the restricted race Section 6 discusses.
+        assert conflicts(op(OpKind.DATA_READ, read=0), op(OpKind.SYNC_WRITE, written=0))
+
+
+class TestSameLocationSyncs:
+    def test_two_syncs_same_location(self):
+        assert same_location_syncs(
+            op(OpKind.SYNC_RMW, "s", read=0, written=1),
+            op(OpKind.SYNC_WRITE, "s", written=0),
+        )
+
+    def test_sync_and_data_not_related(self):
+        assert not same_location_syncs(
+            op(OpKind.SYNC_RMW, "s", read=0, written=1),
+            op(OpKind.DATA_READ, "s", read=0),
+        )
+
+    def test_syncs_on_different_locations(self):
+        assert not same_location_syncs(
+            op(OpKind.SYNC_WRITE, "s", written=0),
+            op(OpKind.SYNC_WRITE, "t", written=0),
+        )
+
+
+class TestOperation:
+    def test_operation_is_hashable_and_frozen(self):
+        a = op(OpKind.DATA_READ, read=0)
+        b = op(OpKind.DATA_READ, read=0)
+        assert a == b
+        assert hash(a) == hash(b)
+        with pytest.raises(Exception):
+            a.location = "y"  # frozen dataclass
+
+    def test_property_shortcuts(self):
+        rmw = op(OpKind.SYNC_RMW, read=0, written=1)
+        assert rmw.is_sync and rmw.has_read and rmw.has_write
+        read = op(OpKind.DATA_READ, read=5)
+        assert not read.is_sync and read.has_read and not read.has_write
+
+    def test_str_rendering(self):
+        text = str(op(OpKind.SYNC_RMW, "s", proc=2, read=0, written=1))
+        assert "P2" in text and "s" in text

@@ -1,0 +1,74 @@
+"""Tests for the monitor-style work-queue workload."""
+
+import pytest
+
+from repro.core.contract import is_sc_result
+from repro.core.drf0 import check_program_sampled
+from repro.hw import (
+    AdveHillPolicy,
+    Definition1Policy,
+    ReleaseConsistencyPolicy,
+    SCPolicy,
+)
+from repro.sim.system import SystemConfig, run_on_hardware
+from repro.workloads import (
+    consumed_total,
+    expected_total,
+    work_queue_workload,
+)
+
+POLICIES = [SCPolicy, Definition1Policy, ReleaseConsistencyPolicy,
+            AdveHillPolicy, lambda: AdveHillPolicy(drf1_optimized=True)]
+
+
+class TestExactlyOnce:
+    @pytest.mark.parametrize("policy_factory", POLICIES)
+    def test_every_item_consumed_exactly_once(self, policy_factory):
+        program = work_queue_workload(num_consumers=2, num_items=4)
+        for seed in range(6):
+            run = run_on_hardware(program, policy_factory(), SystemConfig(seed=seed))
+            assert consumed_total(run.result, 2) == expected_total(4)
+            assert run.result.memory_value("head") == 4
+            assert run.result.memory_value("tail") == 4
+
+    def test_three_consumers(self):
+        program = work_queue_workload(num_consumers=3, num_items=5)
+        for seed in range(4):
+            run = run_on_hardware(program, AdveHillPolicy(), SystemConfig(seed=seed))
+            assert consumed_total(run.result, 3) == expected_total(5)
+
+    def test_single_consumer_gets_everything(self):
+        program = work_queue_workload(num_consumers=1, num_items=3)
+        run = run_on_hardware(program, AdveHillPolicy(), SystemConfig(seed=0))
+        assert run.result.memory_value("tally0") == expected_total(3)
+
+
+class TestDiscipline:
+    def test_sampled_drf0(self):
+        program = work_queue_workload(num_consumers=2, num_items=3)
+        assert check_program_sampled(program, seeds=range(8)).obeys
+
+    def test_lockset_discipline_clean(self):
+        """The monitor paradigm is exactly what Eraser certifies."""
+        from repro.analysis import analyze_program
+
+        report = analyze_program(
+            work_queue_workload(num_consumers=2, num_items=2), seeds=range(6)
+        )
+        assert report.clean
+        assert report.locksets.get("head") == frozenset({"qlock"})
+        assert report.locksets.get("tail") == frozenset({"qlock"})
+
+    @pytest.mark.parametrize("policy_factory", POLICIES[:4])
+    def test_contract(self, policy_factory):
+        program = work_queue_workload(num_consumers=2, num_items=3)
+        for seed in range(5):
+            run = run_on_hardware(program, policy_factory(), SystemConfig(seed=seed))
+            assert is_sc_result(program, run.result)
+
+    def test_tiny_cache_still_exactly_once(self):
+        program = work_queue_workload(num_consumers=2, num_items=3)
+        run = run_on_hardware(
+            program, AdveHillPolicy(), SystemConfig(seed=1, cache_capacity=2)
+        )
+        assert consumed_total(run.result, 2) == expected_total(3)

@@ -1,0 +1,132 @@
+"""Tests for the synthetic workloads: DRF0-cleanliness and hardware correctness."""
+
+import pytest
+
+from repro.core.contract import is_sc_result
+from repro.core.drf0 import check_program, check_program_sampled
+from repro.hw import AdveHillPolicy, Definition1Policy, SCPolicy
+from repro.sim.system import SystemConfig, run_on_hardware
+from repro.workloads import (
+    barrier_workload,
+    contended_release_workload,
+    expected_count,
+    expected_final_data,
+    expected_neighbour_values,
+    lock_workload,
+    phase_parallel_workload,
+    producer_consumer_workload,
+)
+
+POLICIES = [SCPolicy, Definition1Policy, AdveHillPolicy,
+            lambda: AdveHillPolicy(drf1_optimized=True)]
+
+
+class TestLockWorkload:
+    def test_exhaustively_drf0(self):
+        assert check_program(lock_workload(2, 1)).obeys
+
+    def test_sampled_drf0_at_scale(self):
+        assert check_program_sampled(lock_workload(4, 2), seeds=range(10)).obeys
+
+    @pytest.mark.parametrize("policy_factory", POLICIES)
+    def test_counter_correct_on_hardware(self, policy_factory):
+        program = lock_workload(3, 2)
+        for seed in range(6):
+            run = run_on_hardware(program, policy_factory(), SystemConfig(seed=seed))
+            assert run.result.memory_value("count") == expected_count(3, 2)
+            assert run.result.memory_value("lock") == 0
+
+    def test_ttas_variant_correct(self):
+        program = lock_workload(3, 1, ttas=True)
+        for seed in range(6):
+            run = run_on_hardware(program, AdveHillPolicy(), SystemConfig(seed=seed))
+            assert run.result.memory_value("count") == 3
+
+    def test_critical_and_private_work_extend_runtime(self):
+        base = run_on_hardware(lock_workload(2, 1), SCPolicy(), SystemConfig(seed=0))
+        busy = run_on_hardware(
+            lock_workload(2, 1, critical_work=200, private_work=100),
+            SCPolicy(),
+            SystemConfig(seed=0),
+        )
+        assert busy.cycles > base.cycles + 200
+
+
+class TestContendedRelease:
+    def test_all_increments_land(self):
+        program = contended_release_workload(num_spinners=2, hold_cycles=50)
+        for seed in range(5):
+            run = run_on_hardware(program, AdveHillPolicy(), SystemConfig(seed=seed))
+            assert run.result.memory_value("count") == 3
+
+    def test_sampled_drf0(self):
+        program = contended_release_workload(num_spinners=2, hold_cycles=30)
+        assert check_program_sampled(program, seeds=range(6)).obeys
+
+    def test_drf1_reduces_spin_traffic(self):
+        """Section 6: spinning Tests serialized as writes generate more
+        interconnect traffic than shared-copy spinning."""
+        program = contended_release_workload(num_spinners=3, hold_cycles=300)
+        base = sum(
+            run_on_hardware(program, AdveHillPolicy(), SystemConfig(seed=s)).messages_sent
+            for s in range(5)
+        )
+        drf1 = sum(
+            run_on_hardware(
+                program, AdveHillPolicy(drf1_optimized=True), SystemConfig(seed=s)
+            ).messages_sent
+            for s in range(5)
+        )
+        assert drf1 < base
+
+
+class TestProducerConsumer:
+    def test_exhaustively_drf0_small(self):
+        assert check_program(producer_consumer_workload(batch_size=2)).obeys
+
+    @pytest.mark.parametrize("policy_factory", POLICIES)
+    def test_consumer_sees_full_batch(self, policy_factory):
+        program = producer_consumer_workload(batch_size=4, rounds=2)
+        expected = expected_final_data(4, 2)
+        for seed in range(5):
+            run = run_on_hardware(program, policy_factory(), SystemConfig(seed=seed))
+            for loc, value in expected.items():
+                assert run.result.memory_value(loc) == value
+            assert is_sc_result(program, run.result)
+
+    def test_sc_pays_per_write(self):
+        """SC's cost scales with the batch; the weak orderings' does not
+        (writes overlap)."""
+        def cycles(policy_factory, batch):
+            program = producer_consumer_workload(batch_size=batch)
+            return run_on_hardware(program, policy_factory(), SystemConfig(seed=1)).cycles
+
+        sc_growth = cycles(SCPolicy, 12) - cycles(SCPolicy, 2)
+        ah_growth = cycles(AdveHillPolicy, 12) - cycles(AdveHillPolicy, 2)
+        assert ah_growth < sc_growth
+
+
+class TestBarrier:
+    def test_sampled_drf0(self):
+        assert check_program_sampled(barrier_workload(3, 1), seeds=range(6)).obeys
+
+    @pytest.mark.parametrize("policy_factory", POLICIES)
+    def test_barrier_separates_phases(self, policy_factory):
+        program = phase_parallel_workload(num_procs=3, chunk=2, phases=2)
+        for seed in range(4):
+            run = run_on_hardware(program, policy_factory(), SystemConfig(seed=seed))
+            assert is_sc_result(program, run.result)
+
+    def test_neighbour_reads_see_phase_writes(self):
+        program = phase_parallel_workload(num_procs=3, chunk=2, phases=1)
+        run = run_on_hardware(program, AdveHillPolicy(), SystemConfig(seed=2))
+        # The last `chunk` reads of each processor are its neighbour reads.
+        for proc in range(3):
+            got = list(run.result.reads[proc][-2:])
+            assert got == expected_neighbour_values(3, 2, 0, proc)
+
+    def test_barrier_count_final_value(self):
+        program = barrier_workload(num_procs=4, phases=1)
+        run = run_on_hardware(program, AdveHillPolicy(), SystemConfig(seed=0))
+        assert run.result.memory_value("bcount0") == 4
+        assert run.result.memory_value("bsense0") == 0
