@@ -11,7 +11,16 @@ counterpart:
 * the Section-5.1 runtime condition monitor validates every Adve-Hill run;
 * the premise is shown necessary: racy programs do exhibit non-SC results
   on the same hardware.
+
+The sweeps run through the parallel verification engine
+(:mod:`repro.verify.engine`): ``REPRO_BENCH_JOBS`` sets the worker count
+(default: one per CPU), and the shared verdict caches mean a result
+observed under several policies is judged against the SC oracle once.
+Engine output is bit-for-bit identical to the serial sweeps, so the
+assertions below are unchanged from the serial version.
 """
+
+import os
 
 from conftest import emit_table
 
@@ -24,7 +33,7 @@ from repro.hw import (
 )
 from repro.litmus.catalog import by_name
 from repro.sim.system import SystemConfig
-from repro.verify import contract_sweep
+from repro.verify import VerificationEngine
 from repro.workloads import (
     barrier_workload,
     lock_workload,
@@ -60,6 +69,11 @@ POLICIES = {
 
 SEEDS = range(15)
 
+#: Worker processes for the sweeps; the verdict caches are shared across
+#: every row, so repeated results are judged once per campaign.
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or (os.cpu_count() or 1)
+ENGINE = VerificationEngine(jobs=JOBS)
+
 
 def contract_rows():
     rows = []
@@ -67,7 +81,7 @@ def contract_rows():
         assert check_program_sampled(program, seeds=range(10)).obeys
         for name, factory in POLICIES.items():
             monitor = name.startswith("adve-hill")
-            report = contract_sweep(
+            report = ENGINE.contract_sweep(
                 program,
                 factory,
                 SystemConfig(),
@@ -90,7 +104,7 @@ def premise_rows():
     rows = []
     for program in racy_programs():
         for name in ("definition1", "adve-hill"):
-            report = contract_sweep(
+            report = ENGINE.contract_sweep(
                 program, POLICIES[name], SystemConfig(), seeds=range(40)
             )
             rows.append(

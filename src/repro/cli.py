@@ -9,6 +9,9 @@ Commands:
 * ``models [NAME ...]`` -- axiomatic admission table (SC / TSO /
   coherence / WO-DRF0) for straight-line catalog tests;
 * ``simulate NAME`` -- one hardware run with timing details;
+* ``sweep [NAME ...]`` -- Definition-2 evidence table (programs x policies
+  x seeds) via the parallel verification engine (``--jobs N``);
+* ``fuzz`` -- random programs against every oracle (``--jobs N``);
 * ``delays NAME`` -- Shasha-Snir delay pairs for a straight-line test;
 * ``catalog`` -- list available litmus tests and workloads.
 
@@ -173,6 +176,49 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+#: Default sweep suite: the DRF0 programs E5 rests on, plus one racy
+#: control so the premise side of Definition 2 shows up in the table.
+DEFAULT_SWEEP_PROGRAMS = ["MP+sync", "SB+sync", "TAS", "lock", "SB"]
+
+
+def cmd_sweep(args) -> int:
+    from repro.verify.engine import VerificationEngine
+
+    names = args.names or DEFAULT_SWEEP_PROGRAMS
+    programs = [_resolve_program(name) for name in names]
+    policy_names = args.policy or [
+        name for name in sorted(POLICY_FACTORIES) if name != "relaxed"
+    ]
+    factories = {name: POLICY_FACTORIES[name] for name in policy_names}
+    engine = VerificationEngine(jobs=args.jobs)
+    evidence = engine.definition2_sweep(
+        programs,
+        factories,
+        config=_config_from_args(args),
+        seeds=range(args.seeds),
+        drf0_seeds=range(args.drf0_seeds),
+        exhaustive_drf0=args.exhaustive_drf0,
+        check_51_conditions=args.check_51,
+    )
+    print(
+        f"{'program':<14}{'DRF0':<7}{'policy':<22}{'appears-SC':<12}"
+        f"{'distinct':<10}{'5.1-viol':<10}{'mean cycles'}"
+    )
+    for row in evidence.rows:
+        print(
+            f"{row['program']:<14}"
+            f"{'yes' if row['program_drf0'] else 'no':<7}"
+            f"{row['policy']:<22}"
+            f"{'yes' if row['appears_sc'] else 'NO':<12}"
+            f"{row['distinct_results']:<10}"
+            f"{len(row['condition_violations']):<10}"
+            f"{row['mean_cycles']:.1f}"
+        )
+    holds = evidence.contract_holds
+    print(f"\nDefinition-2 contract: {'holds' if holds else 'VIOLATED'}")
+    return 0 if holds else 1
+
+
 def cmd_delays(args) -> int:
     program = _resolve_program(args.name)
     try:
@@ -195,8 +241,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_hw_args(p):
-        p.add_argument("--policy", choices=sorted(POLICY_FACTORIES), default="adve-hill")
+    def add_hw_args(p, single_policy=True):
+        if single_policy:
+            p.add_argument("--policy", choices=sorted(POLICY_FACTORIES),
+                           default="adve-hill")
         p.add_argument("--topology", choices=["bus", "network"], default="network")
         p.add_argument("--no-caches", action="store_true")
         p.add_argument("--seed", type=int, default=0)
@@ -232,6 +280,28 @@ def build_parser() -> argparse.ArgumentParser:
     add_hw_args(p)
     p.set_defaults(func=cmd_simulate)
 
+    p = sub.add_parser(
+        "sweep",
+        help="Definition-2 evidence sweep (programs x policies x seeds)",
+    )
+    p.add_argument("names", nargs="*",
+                   help=f"programs to sweep (default: {DEFAULT_SWEEP_PROGRAMS})")
+    add_hw_args(p, single_policy=False)
+    p.add_argument("--policy", action="append",
+                   choices=sorted(POLICY_FACTORIES), metavar="POLICY",
+                   help="policy to include, repeatable (default: all except "
+                        "the broken 'relaxed' strawman)")
+    p.add_argument("--drf0-seeds", type=int, default=30,
+                   help="seeds for the sampled DRF0 premise check")
+    p.add_argument("--exhaustive-drf0", action="store_true",
+                   help="enumerate every interleaving for the DRF0 verdict")
+    p.add_argument("--check-51", action="store_true",
+                   help="run the Section-5.1 condition monitor on every run")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (0 = one per CPU); output is "
+                        "identical to --jobs 1")
+    p.set_defaults(func=cmd_sweep)
+
     p = sub.add_parser("delays", help="Shasha-Snir delay pairs")
     p.add_argument("name")
     p.set_defaults(func=cmd_delays)
@@ -242,15 +312,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--programs", type=int, default=20)
     p.add_argument("--start-seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (0 = one per CPU); output is "
+                        "identical to --jobs 1")
     p.set_defaults(func=cmd_fuzz)
 
     return parser
 
 
 def cmd_fuzz(args) -> int:
-    from repro.verify.fuzz import fuzz
+    from repro.verify.engine import VerificationEngine
 
-    report = fuzz(range(args.start_seed, args.start_seed + args.programs))
+    engine = VerificationEngine(jobs=args.jobs)
+    report = engine.fuzz(range(args.start_seed, args.start_seed + args.programs))
     print(
         f"fuzz: {report.programs_run} programs, "
         f"{report.hardware_runs} hardware runs, "

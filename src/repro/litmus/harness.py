@@ -54,7 +54,12 @@ def run_litmus_on_hardware(
     seeds: Sequence[int] = range(20),
     check_contract: bool = True,
 ) -> LitmusHardwareReport:
-    """Run one litmus test over many seeds under one policy."""
+    """Run one litmus test over many seeds under one policy.
+
+    ``seeds`` may be a one-shot iterable (e.g. a generator): it is
+    materialized once at entry so ``seeds_run`` reports the true count.
+    """
+    seeds = list(seeds)
     results: Set[Result] = set()
     for seed in seeds:
         run = run_on_hardware(test.program, policy_factory(), config.with_seed(seed))
@@ -64,7 +69,7 @@ def run_litmus_on_hardware(
         test=test,
         policy_name=policy_factory().name,
         config=config,
-        seeds_run=len(list(seeds)),
+        seeds_run=len(seeds),
         outcome_observed=observed,
         results=results,
     )

@@ -1,7 +1,15 @@
-"""Verification harnesses: contract sweeps and the Section-5.1 monitor."""
+"""Verification harnesses: contract sweeps, the Section-5.1 monitor, and
+the parallel verification engine."""
 
+from repro.verify.cache import (
+    CacheIntegrityError,
+    DRF0VerdictCache,
+    SCVerdictCache,
+    program_fingerprint,
+)
 from repro.verify.conditions import ConditionReport, check_conditions
-from repro.verify.fuzz import FuzzReport, fuzz
+from repro.verify.engine import RunSummary, VerificationEngine
+from repro.verify.fuzz import FuzzReport, SeedOutcome, fuzz, fuzz_one_seed
 from repro.verify.sweeps import (
     Definition2Evidence,
     SweepReport,
@@ -10,12 +18,20 @@ from repro.verify.sweeps import (
 )
 
 __all__ = [
+    "CacheIntegrityError",
     "ConditionReport",
+    "DRF0VerdictCache",
     "Definition2Evidence",
     "FuzzReport",
+    "RunSummary",
+    "SCVerdictCache",
+    "SeedOutcome",
     "SweepReport",
+    "VerificationEngine",
     "check_conditions",
     "contract_sweep",
     "definition2_sweep",
     "fuzz",
+    "fuzz_one_seed",
+    "program_fingerprint",
 ]

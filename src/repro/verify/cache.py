@@ -1,0 +1,190 @@
+"""Memoization for the verification engine: verdict caches keyed by program.
+
+The guided SC-membership search (:func:`repro.core.contract.is_sc_result`)
+is the expensive half of every contract sweep, and the same (program,
+result) pair recurs constantly: across nondeterminism seeds, across
+policies run on the same program, and across workers of a parallel sweep.
+The caches here make each judgment happen exactly once.
+
+Keys are *content* keys, not identity keys: :func:`program_fingerprint`
+hashes the program's instruction streams, labels, and initial memory (the
+name is deliberately excluded -- two structurally identical programs share
+verdicts), and :class:`~repro.core.execution.Result` is already canonical
+(per-processor read tuples plus sorted final memory).  Content keys are
+what make verdicts portable across worker processes.
+
+Every stored entry carries a checksum over (key, verdict), so an entry
+that is corrupted in place -- a worker writing through shared memory it
+should not own, a bad merge, a bit flip in a persisted cache -- is caught
+at lookup time (:class:`CacheIntegrityError`) rather than silently turning
+a non-SC result into "appears SC".  :meth:`SCVerdictCache.audit` goes
+further and re-derives every cached verdict from the oracle, catching
+entries that were poisoned *consistently* (checksum rewritten to match a
+wrong verdict).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.contract import is_sc_result
+from repro.core.execution import Result
+from repro.machine.program import Program
+
+
+class CacheIntegrityError(RuntimeError):
+    """A cached verdict's checksum no longer matches its key and value."""
+
+
+def program_fingerprint(program: Program) -> str:
+    """Deterministic content hash of a program's semantics.
+
+    Covers the instruction tuples, branch labels, and initial memory;
+    excludes the display name so renamed-but-identical programs share
+    cache entries.  Stable across processes (unlike ``hash()``, which is
+    salted per interpreter).
+    """
+    h = hashlib.sha256()
+    for code in program.threads:
+        h.update(repr(code.instructions).encode())
+        h.update(repr(sorted(code.labels.items())).encode())
+        h.update(b"\x00")
+    h.update(repr(sorted(program.initial_memory.items())).encode())
+    return h.hexdigest()
+
+
+def _checksum(key: object, verdict: bool) -> str:
+    return hashlib.sha256(repr((key, verdict)).encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, for reporting and for asserting reuse in tests."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+class SCVerdictCache:
+    """Memo of guided SC-membership verdicts, keyed by (program, result)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, Result], Tuple[bool, str]] = {}
+        self._programs: Dict[str, Program] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(self, program: Program, result: Result) -> Tuple[str, Result]:
+        """The content key a verdict is filed under."""
+        return (program_fingerprint(program), result)
+
+    def lookup(self, program: Program, result: Result) -> Optional[bool]:
+        """Cached verdict for (program, result), or None when unjudged.
+
+        Raises :class:`CacheIntegrityError` if the stored entry fails its
+        checksum -- a poisoned entry must never be served as a verdict.
+        """
+        key = self.key(program, result)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        verdict, checksum = entry
+        if checksum != _checksum(key, verdict):
+            raise CacheIntegrityError(
+                f"SC verdict cache entry for {key[0][:12]}.../{result} failed "
+                "its integrity check"
+            )
+        self.stats.hits += 1
+        return verdict
+
+    def store(self, program: Program, result: Result, verdict: bool) -> None:
+        """File a verdict (idempotent; later stores overwrite)."""
+        key = self.key(program, result)
+        self._entries[key] = (bool(verdict), _checksum(key, bool(verdict)))
+        self._programs.setdefault(key[0], program)
+
+    def judge(self, program: Program, result: Result) -> bool:
+        """Cached :func:`is_sc_result`: judge once, remember forever."""
+        verdict = self.lookup(program, result)
+        if verdict is None:
+            verdict = is_sc_result(program, result)
+            self.store(program, result, verdict)
+        return verdict
+
+    def audit(
+        self,
+        oracle: Callable[[Program, Result], bool] = is_sc_result,
+    ) -> List[Tuple[str, Result]]:
+        """Re-derive every cached verdict from the oracle.
+
+        Returns the keys whose stored verdict disagrees with a fresh
+        oracle run (or whose checksum is broken).  Empty list == cache
+        sound.  This catches poisonings the lookup-time checksum cannot:
+        an entry rewritten wholesale with a consistent checksum.
+        """
+        bad: List[Tuple[str, Result]] = []
+        for (fingerprint, result), (verdict, checksum) in self._entries.items():
+            key = (fingerprint, result)
+            if checksum != _checksum(key, verdict):
+                bad.append(key)
+                continue
+            if oracle(self._programs[fingerprint], result) != verdict:
+                bad.append(key)
+        return bad
+
+
+class DRF0VerdictCache:
+    """Memo of Definition-3 program verdicts.
+
+    Keyed by (program fingerprint, mode): the exhaustive verdict is a pure
+    function of the program, the sampled verdict also of the seed set, so
+    the sampled key includes the seeds it was derived from.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, object], Tuple[bool, str]] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(program: Program, exhaustive: bool, seeds: Tuple[int, ...]) -> Tuple[str, object]:
+        mode: object = "exhaustive" if exhaustive else ("sampled", seeds)
+        return (program_fingerprint(program), mode)
+
+    def lookup(
+        self, program: Program, exhaustive: bool, seeds: Tuple[int, ...] = ()
+    ) -> Optional[bool]:
+        key = self._key(program, exhaustive, seeds)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        verdict, checksum = entry
+        if checksum != _checksum(key, verdict):
+            raise CacheIntegrityError(
+                f"DRF0 verdict cache entry for {key[0][:12]}... failed its "
+                "integrity check"
+            )
+        self.stats.hits += 1
+        return verdict
+
+    def store(
+        self,
+        program: Program,
+        exhaustive: bool,
+        seeds: Tuple[int, ...],
+        verdict: bool,
+    ) -> None:
+        key = self._key(program, exhaustive, seeds)
+        self._entries[key] = (bool(verdict), _checksum(key, bool(verdict)))

@@ -1,0 +1,470 @@
+"""Parallel contract-verification engine.
+
+The evidence behind Definition 2 is a sweep: run every (program, policy)
+pair across many nondeterminism seeds, then judge each distinct observed
+result against the exact guided SC-membership oracle.  Both halves are
+embarrassingly parallel and highly redundant, so :class:`VerificationEngine`
+does two things:
+
+* **fan-out** -- hardware runs, DRF0 program verdicts, SC-membership
+  judgments, and whole fuzz seeds are dispatched to a ``multiprocessing``
+  pool as chunked tasks;
+* **memoization** -- oracle verdicts land in content-keyed caches
+  (:mod:`repro.verify.cache`), so a result observed under five policies and
+  forty seeds is judged once, and a program swept twice is DRF0-checked
+  once.
+
+Determinism contract: for the same inputs, every engine entry point returns
+output *bit-for-bit identical* to its serial counterpart in
+:mod:`repro.verify.sweeps` / :mod:`repro.verify.fuzz`, regardless of
+``jobs``.  The engine achieves this by keeping workers pure (they only map
+task -> value) and doing every fold in the parent, in the serial code's
+iteration order; floating-point accumulations (``mean_cycles``) therefore
+sum in the identical order too.
+
+Worker plumbing: tasks are dispatched to a ``fork``-context pool, and the
+per-call task context (programs, policy factories, configs) is published in
+a module global *before* the fork so children inherit it by address-space
+copy.  Only small index tuples cross the task queue and only plain result
+records come back -- policy factories (often lambdas) are never pickled.
+On platforms without ``fork`` the engine transparently degrades to the
+in-process path (still memoized, still identical output).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.contract import is_sc_result
+from repro.core.drf0 import check_program, check_program_sampled
+from repro.core.execution import Result
+from repro.machine.generator import GeneratorConfig
+from repro.machine.program import Program
+from repro.sim.system import SystemConfig, run_on_hardware
+from repro.verify.cache import (
+    DRF0VerdictCache,
+    SCVerdictCache,
+    program_fingerprint,
+)
+from repro.verify.conditions import check_conditions
+from repro.verify.fuzz import FuzzReport, SeedOutcome, fuzz_one_seed, merge_outcomes
+from repro.verify.sweeps import (
+    Definition2Evidence,
+    SweepReport,
+    evidence_row,
+)
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """The picklable essentials of one hardware run.
+
+    Workers return these instead of full :class:`~repro.sim.system.MachineRun`
+    objects: the raw access trace is only needed for the Section-5.1
+    monitor, which runs *inside* the worker and is reduced here to its
+    violation strings.
+    """
+
+    seed: int
+    policy_name: str
+    result: Result
+    cycles: int
+    stall_cycles: int
+    condition_violations: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class _SweepCell:
+    """One (program, policy, config) sweep cell.
+
+    Lives only in the parent and in fork-inherited worker memory; the
+    policy factory is never pickled.
+    """
+
+    program: Program
+    policy_factory: Callable[[], object]
+    config: SystemConfig
+    check_51_conditions: bool = False
+
+
+@dataclass
+class _TaskContext:
+    """Everything a worker needs, inherited via fork (never pickled)."""
+
+    cells: Tuple[_SweepCell, ...] = ()
+    programs: Tuple[Program, ...] = ()
+    exhaustive_drf0: bool = False
+    drf0_seeds: Tuple[int, ...] = ()
+    generator: Optional[GeneratorConfig] = None
+    fuzz_hardware_seeds: Tuple[int, ...] = ()
+    check_cross_enumerators: bool = True
+
+
+#: Published by the parent immediately before forking the pool; workers
+#: read it, the parent restores the previous value afterwards.
+_TASK_CONTEXT: Optional[_TaskContext] = None
+
+#: Worker-process-local memo for fuzz SC judgments (workers cannot share
+#: the parent cache object; each at least never re-judges its own repeats).
+_WORKER_SC_MEMO: Dict[Tuple[str, Result], bool] = {}
+
+
+def _run_one(cell: _SweepCell, seed: int) -> RunSummary:
+    policy = cell.policy_factory()
+    run = run_on_hardware(cell.program, policy, cell.config.with_seed(seed))
+    violations: Tuple[str, ...] = ()
+    if cell.check_51_conditions:
+        report = check_conditions(
+            run, drf1_optimized=getattr(policy, "drf1_optimized", False)
+        )
+        if not report.ok:
+            violations = tuple(
+                f"seed {seed} {cond}: {m}"
+                for cond, messages in report.violations.items()
+                for m in messages
+            )
+    return RunSummary(
+        seed=seed,
+        policy_name=policy.name,
+        result=run.result,
+        cycles=run.cycles,
+        stall_cycles=run.total_stall_cycles,
+        condition_violations=violations,
+    )
+
+
+def _memoized_judge(program: Program, result: Result) -> bool:
+    key = (program_fingerprint(program), result)
+    verdict = _WORKER_SC_MEMO.get(key)
+    if verdict is None:
+        verdict = is_sc_result(program, result)
+        _WORKER_SC_MEMO[key] = verdict
+    return verdict
+
+
+def _execute_task(task: tuple):
+    """Worker dispatch: map one task tuple to its (picklable) value."""
+    ctx = _TASK_CONTEXT
+    assert ctx is not None, "task executed outside an engine session"
+    kind = task[0]
+    if kind == "run":
+        _, cell_index, seeds = task
+        cell = ctx.cells[cell_index]
+        return [_run_one(cell, seed) for seed in seeds]
+    if kind == "judge":
+        _, cell_index, result = task
+        return is_sc_result(ctx.cells[cell_index].program, result)
+    if kind == "drf0":
+        _, program_index = task
+        program = ctx.programs[program_index]
+        if ctx.exhaustive_drf0:
+            return check_program(program).obeys
+        return check_program_sampled(program, seeds=ctx.drf0_seeds).obeys
+    if kind == "fuzz":
+        _, seed = task
+        return fuzz_one_seed(
+            seed,
+            ctx.generator,
+            ctx.fuzz_hardware_seeds,
+            ctx.check_cross_enumerators,
+            judge=_memoized_judge,
+        )
+    raise ValueError(f"unknown task kind {kind!r}")
+
+
+class _Session:
+    """One engine call's dispatch surface: a pool, or the calling process."""
+
+    def __init__(self, pool) -> None:
+        self._pool = pool
+
+    def map(self, tasks: Sequence[tuple]) -> list:
+        """Evaluate tasks, returning values in task order."""
+        if not tasks:
+            return []
+        if self._pool is None:
+            return [_execute_task(task) for task in tasks]
+        return self._pool.map(_execute_task, tasks, chunksize=1)
+
+
+class VerificationEngine:
+    """Chunked, memoized, deterministic parallel sweep runner.
+
+    Args:
+        jobs: Worker processes.  ``1`` (the default) runs in-process;
+            ``0`` or ``None`` means one per CPU.  Parallel dispatch needs
+            the ``fork`` start method (POSIX); elsewhere the engine runs
+            in-process regardless of ``jobs``.
+        seed_chunk: Seeds per hardware-run task.  Default: sized so each
+            worker sees about four tasks per cell (amortizes task overhead
+            while still load-balancing).
+        sc_cache / drf0_cache: Verdict caches; pass shared instances to
+            memoize across engine calls (both benchmarks do).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        seed_chunk: Optional[int] = None,
+        sc_cache: Optional[SCVerdictCache] = None,
+        drf0_cache: Optional[DRF0VerdictCache] = None,
+    ) -> None:
+        if not jobs:
+            jobs = os.cpu_count() or 1
+        self.jobs = max(1, int(jobs))
+        self.seed_chunk = seed_chunk
+        self.sc_cache = sc_cache if sc_cache is not None else SCVerdictCache()
+        self.drf0_cache = (
+            drf0_cache if drf0_cache is not None else DRF0VerdictCache()
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def can_fork(self) -> bool:
+        """Whether a worker pool is actually available on this platform."""
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    @contextmanager
+    def _session(self, context: _TaskContext):
+        global _TASK_CONTEXT
+        previous = _TASK_CONTEXT
+        _TASK_CONTEXT = context
+        pool = None
+        try:
+            if self.jobs > 1 and self.can_fork:
+                pool = multiprocessing.get_context("fork").Pool(self.jobs)
+            yield _Session(pool)
+        except BaseException:
+            if pool is not None:
+                pool.terminate()  # don't drain queued work after a failure
+                pool.join()
+                pool = None
+            raise
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
+            _TASK_CONTEXT = previous
+
+    def _seed_chunks(self, seeds: Sequence[int]) -> List[Tuple[int, ...]]:
+        if not seeds:
+            return []
+        size = self.seed_chunk or max(1, -(-len(seeds) // (self.jobs * 4)))
+        return [
+            tuple(seeds[i : i + size]) for i in range(0, len(seeds), size)
+        ]
+
+    def _run_cells(
+        self,
+        session: _Session,
+        cells: Sequence[_SweepCell],
+        seeds: Sequence[int],
+    ) -> List[List[RunSummary]]:
+        """All hardware runs for ``cells`` x ``seeds``, seed-ordered per cell."""
+        chunks = self._seed_chunks(seeds)
+        tasks = [
+            ("run", cell_index, chunk)
+            for cell_index in range(len(cells))
+            for chunk in chunks
+        ]
+        values = session.map(tasks)
+        per_cell: List[List[RunSummary]] = [[] for _ in cells]
+        for (_, cell_index, _chunk), summaries in zip(tasks, values):
+            per_cell[cell_index].extend(summaries)
+        return per_cell
+
+    def _judge_new_results(
+        self,
+        session: _Session,
+        cells: Sequence[_SweepCell],
+        per_cell: Sequence[Sequence[RunSummary]],
+    ) -> None:
+        """Judge every not-yet-cached distinct result, once, possibly in
+        parallel, and file the verdicts in :attr:`sc_cache`."""
+        pending: List[Tuple[int, Result]] = []
+        claimed: Set[Tuple[str, Result]] = set()
+        for cell_index, summaries in enumerate(per_cell):
+            program = cells[cell_index].program
+            for summary in summaries:
+                key = self.sc_cache.key(program, summary.result)
+                if key in claimed:
+                    continue
+                claimed.add(key)
+                if self.sc_cache.lookup(program, summary.result) is None:
+                    pending.append((cell_index, summary.result))
+        verdicts = session.map(
+            [("judge", cell_index, result) for cell_index, result in pending]
+        )
+        for (cell_index, result), verdict in zip(pending, verdicts):
+            self.sc_cache.store(cells[cell_index].program, result, verdict)
+
+    def _assemble_sweep(
+        self,
+        cell: _SweepCell,
+        seeds: Sequence[int],
+        summaries: Sequence[RunSummary],
+    ) -> SweepReport:
+        """Fold one cell's summaries exactly as the serial sweep would."""
+        seen: Set[Result] = set()
+        non_sc: List[Result] = []
+        condition_problems: List[str] = []
+        cycles: List[int] = []
+        for summary in summaries:
+            cycles.append(summary.cycles)
+            condition_problems.extend(summary.condition_violations)
+            if summary.result in seen:
+                continue
+            seen.add(summary.result)
+            if not self.sc_cache.judge(cell.program, summary.result):
+                non_sc.append(summary.result)
+        if summaries:
+            policy_name = summaries[0].policy_name
+        else:
+            policy_name = cell.policy_factory().name
+        return SweepReport(
+            program=cell.program,
+            policy_name=policy_name,
+            seeds_run=len(seeds),
+            distinct_results=len(seen),
+            non_sc_results=non_sc,
+            condition_violations=condition_problems,
+            mean_cycles=sum(cycles) / len(cycles) if cycles else 0.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Entry points (mirror the serial API)
+    # ------------------------------------------------------------------
+
+    def hardware_summaries(
+        self,
+        program: Program,
+        policy_factory: Callable[[], object],
+        config: Optional[SystemConfig] = None,
+        seeds: Sequence[int] = range(20),
+        check_51_conditions: bool = False,
+    ) -> List[RunSummary]:
+        """Raw per-seed run summaries (no SC judging) -- the timing path
+        the performance benchmarks fan out."""
+        config = config or SystemConfig()
+        seeds = list(seeds)
+        cell = _SweepCell(program, policy_factory, config, check_51_conditions)
+        with self._session(_TaskContext(cells=(cell,))) as session:
+            return self._run_cells(session, [cell], seeds)[0]
+
+    def contract_sweep(
+        self,
+        program: Program,
+        policy_factory: Callable[[], object],
+        config: Optional[SystemConfig] = None,
+        seeds: Sequence[int] = range(20),
+        check_51_conditions: bool = False,
+    ) -> SweepReport:
+        """Parallel :func:`repro.verify.sweeps.contract_sweep`."""
+        config = config or SystemConfig()
+        seeds = list(seeds)
+        cell = _SweepCell(program, policy_factory, config, check_51_conditions)
+        with self._session(_TaskContext(cells=(cell,))) as session:
+            per_cell = self._run_cells(session, [cell], seeds)
+            self._judge_new_results(session, [cell], per_cell)
+        return self._assemble_sweep(cell, seeds, per_cell[0])
+
+    def definition2_sweep(
+        self,
+        programs: Iterable[Program],
+        policy_factories: Dict[str, Callable[[], object]],
+        config: Optional[SystemConfig] = None,
+        seeds: Sequence[int] = range(20),
+        drf0_seeds: Sequence[int] = range(30),
+        exhaustive_drf0: bool = False,
+        check_51_conditions: bool = False,
+    ) -> Definition2Evidence:
+        """Parallel :func:`repro.verify.sweeps.definition2_sweep`."""
+        config = config or SystemConfig()
+        programs = list(programs)
+        seeds = list(seeds)
+        drf0_tuple = tuple(drf0_seeds)
+        cells = [
+            _SweepCell(program, factory, config, check_51_conditions)
+            for program in programs
+            for factory in policy_factories.values()
+        ]
+        context = _TaskContext(
+            cells=tuple(cells),
+            programs=tuple(programs),
+            exhaustive_drf0=exhaustive_drf0,
+            drf0_seeds=drf0_tuple,
+        )
+        with self._session(context) as session:
+            drf0_pending = [
+                index
+                for index, program in enumerate(programs)
+                if self.drf0_cache.lookup(program, exhaustive_drf0, drf0_tuple)
+                is None
+            ]
+            chunks = self._seed_chunks(seeds)
+            run_tasks = [
+                ("run", cell_index, chunk)
+                for cell_index in range(len(cells))
+                for chunk in chunks
+            ]
+            drf0_tasks = [("drf0", index) for index in drf0_pending]
+            values = session.map(drf0_tasks + run_tasks)
+            for index, verdict in zip(drf0_pending, values[: len(drf0_tasks)]):
+                self.drf0_cache.store(
+                    programs[index], exhaustive_drf0, drf0_tuple, verdict
+                )
+            per_cell: List[List[RunSummary]] = [[] for _ in cells]
+            for (_, cell_index, _chunk), summaries in zip(
+                run_tasks, values[len(drf0_tasks) :]
+            ):
+                per_cell[cell_index].extend(summaries)
+            self._judge_new_results(session, cells, per_cell)
+
+        evidence = Definition2Evidence()
+        cell_index = 0
+        for program in programs:
+            drf0 = self.drf0_cache.lookup(program, exhaustive_drf0, drf0_tuple)
+            assert drf0 is not None
+            for name in policy_factories:
+                report = self._assemble_sweep(
+                    cells[cell_index], seeds, per_cell[cell_index]
+                )
+                evidence.rows.append(evidence_row(program, drf0, name, report))
+                cell_index += 1
+        return evidence
+
+    def fuzz(
+        self,
+        seeds: Sequence[int],
+        generator: Optional[GeneratorConfig] = None,
+        hardware_seeds: Sequence[int] = range(3),
+        check_cross_enumerators: bool = True,
+    ) -> FuzzReport:
+        """Parallel :func:`repro.verify.fuzz.fuzz` (one task per seed)."""
+        seeds = list(seeds)
+        context = _TaskContext(
+            generator=generator,
+            fuzz_hardware_seeds=tuple(hardware_seeds),
+            check_cross_enumerators=check_cross_enumerators,
+        )
+        with self._session(context) as session:
+            outcomes: List[SeedOutcome] = session.map(
+                [("fuzz", seed) for seed in seeds]
+            )
+        return merge_outcomes(outcomes)

@@ -17,7 +17,7 @@ of the independent components.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.axiomatic import SCModel, allowed_results
 from repro.core.contract import is_sc_result
@@ -63,6 +63,91 @@ _LIVENESS_POLICIES = [
 ]
 
 
+@dataclass
+class SeedOutcome:
+    """One fuzz seed's contribution to a :class:`FuzzReport`.
+
+    The per-seed body is factored out so the serial loop and the parallel
+    engine (:mod:`repro.verify.engine`) run literally the same code; a
+    parallel campaign merges outcomes in seed order and is therefore
+    byte-identical to the serial one.
+    """
+
+    seed: int
+    programs_run: int = 0
+    hardware_runs: int = 0
+    failures: List[str] = field(default_factory=list)
+
+
+def fuzz_one_seed(
+    seed: int,
+    generator: Optional[GeneratorConfig] = None,
+    hardware_seeds: Sequence[int] = range(3),
+    check_cross_enumerators: bool = True,
+    judge: Optional[Callable[..., bool]] = None,
+) -> SeedOutcome:
+    """Run every fuzz oracle on the one random program ``seed`` names.
+
+    ``judge`` is the SC-membership oracle; it defaults to the exact
+    :func:`is_sc_result` and exists so callers can substitute a memoizing
+    wrapper (the parallel engine does).
+    """
+    judge = judge or is_sc_result
+    outcome = SeedOutcome(seed=seed)
+    program = random_program(seed, generator)
+    outcome.programs_run += 1
+
+    if check_cross_enumerators:
+        reference = sc_results(program)
+        if allowed_results(program, SCModel()) != reference:
+            outcome.failures.append(
+                f"seed {seed}: axiomatic SC disagrees with enumerator"
+            )
+        if sc_results_dpor(program) != reference:
+            outcome.failures.append(
+                f"seed {seed}: DPOR disagrees with enumerator"
+            )
+
+    for config_index, config in enumerate(_FUZZ_CONFIGS):
+        if config.coherence == "snoop" and not config.caches:
+            continue
+        for hw_seed in hardware_seeds:
+            cfg = config.with_seed(hw_seed)
+            run = run_on_hardware(program, SCPolicy(), cfg)
+            outcome.hardware_runs += 1
+            if not judge(program, run.result):
+                outcome.failures.append(
+                    f"seed {seed} config {config_index} hw-seed {hw_seed}: "
+                    f"SC hardware produced non-SC result {run.result}"
+                )
+        for factory in _LIVENESS_POLICIES:
+            if factory().requires_caches and not config.caches:
+                continue
+            run = run_on_hardware(
+                program, factory(), config.with_seed(hardware_seeds[0])
+            )
+            outcome.hardware_runs += 1
+            for per_proc in run.raw_accesses:
+                if not all(
+                    a.globally_performed for a in per_proc if a.has_write
+                ):
+                    outcome.failures.append(
+                        f"seed {seed}: {factory().name} left a write "
+                        "not globally performed"
+                    )
+    return outcome
+
+
+def merge_outcomes(outcomes: Sequence[SeedOutcome]) -> FuzzReport:
+    """Fold per-seed outcomes (in the order given) into one report."""
+    report = FuzzReport()
+    for outcome in outcomes:
+        report.programs_run += outcome.programs_run
+        report.hardware_runs += outcome.hardware_runs
+        report.failures.extend(outcome.failures)
+    return report
+
+
 def fuzz(
     seeds: Sequence[int],
     generator: Optional[GeneratorConfig] = None,
@@ -70,47 +155,9 @@ def fuzz(
     check_cross_enumerators: bool = True,
 ) -> FuzzReport:
     """Run the fuzz oracles over one random program per seed."""
-    report = FuzzReport()
-    for seed in seeds:
-        program = random_program(seed, generator)
-        report.programs_run += 1
-
-        if check_cross_enumerators:
-            reference = sc_results(program)
-            if allowed_results(program, SCModel()) != reference:
-                report.failures.append(
-                    f"seed {seed}: axiomatic SC disagrees with enumerator"
-                )
-            if sc_results_dpor(program) != reference:
-                report.failures.append(
-                    f"seed {seed}: DPOR disagrees with enumerator"
-                )
-
-        for config_index, config in enumerate(_FUZZ_CONFIGS):
-            if config.coherence == "snoop" and not config.caches:
-                continue
-            for hw_seed in hardware_seeds:
-                cfg = config.with_seed(hw_seed)
-                run = run_on_hardware(program, SCPolicy(), cfg)
-                report.hardware_runs += 1
-                if not is_sc_result(program, run.result):
-                    report.failures.append(
-                        f"seed {seed} config {config_index} hw-seed {hw_seed}: "
-                        f"SC hardware produced non-SC result {run.result}"
-                    )
-            for factory in _LIVENESS_POLICIES:
-                if factory().requires_caches and not config.caches:
-                    continue
-                run = run_on_hardware(
-                    program, factory(), config.with_seed(hardware_seeds[0])
-                )
-                report.hardware_runs += 1
-                for per_proc in run.raw_accesses:
-                    if not all(
-                        a.globally_performed for a in per_proc if a.has_write
-                    ):
-                        report.failures.append(
-                            f"seed {seed}: {factory().name} left a write "
-                            "not globally performed"
-                        )
-    return report
+    return merge_outcomes(
+        [
+            fuzz_one_seed(seed, generator, hardware_seeds, check_cross_enumerators)
+            for seed in seeds
+        ]
+    )

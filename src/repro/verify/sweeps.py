@@ -7,6 +7,11 @@ and test each against the exact guided SC-membership oracle
 (:func:`repro.core.contract.is_sc_result`).  The SC side is exact; the
 hardware side is sampled -- :class:`SweepReport.seeds_run` records the
 evidence size.
+
+These are the serial reference implementations.  The parallel engine
+(:mod:`repro.verify.engine`) fans the same sweeps across a worker pool and
+memoizes oracle verdicts; its output is bit-for-bit identical to the
+functions here, which the test suite asserts.
 """
 
 from __future__ import annotations
@@ -18,13 +23,19 @@ from repro.core.contract import is_sc_result
 from repro.core.drf0 import check_program, check_program_sampled
 from repro.core.execution import Result
 from repro.machine.program import Program
-from repro.sim.system import MachineRun, SystemConfig, run_on_hardware
+from repro.sim.system import SystemConfig, run_on_hardware
 from repro.verify.conditions import check_conditions
 
 
 @dataclass
 class SweepReport:
-    """Outcome of one (program, policy, config) contract sweep."""
+    """Outcome of one (program, policy, config) contract sweep.
+
+    ``mean_cycles`` averages over *all* seeds run (every run contributes a
+    timing sample), while ``distinct_results`` counts deduplicated
+    observable results -- the two denominators differ by design: timing is
+    per run, SC-membership evidence is per distinct result.
+    """
 
     program: Program
     policy_name: str
@@ -52,14 +63,22 @@ def contract_sweep(
     With ``check_51_conditions`` the Section-5.1 runtime monitor also runs
     on each run (only meaningful for policies that claim those conditions,
     i.e. the Adve-Hill implementation).
+
+    ``seeds`` may be any iterable, including a one-shot generator: it is
+    materialized once at entry, so ``seeds_run`` always reports the true
+    evidence size.
     """
     config = config or SystemConfig()
+    seeds = list(seeds)
     seen: Set[Result] = set()
     non_sc: List[Result] = []
     condition_problems: List[str] = []
     cycles: List[int] = []
+    policy_name: Optional[str] = None
     for seed in seeds:
         policy = policy_factory()
+        if policy_name is None:
+            policy_name = policy.name
         run = run_on_hardware(program, policy, config.with_seed(seed))
         cycles.append(run.cycles)
         if check_51_conditions:
@@ -76,10 +95,13 @@ def contract_sweep(
         seen.add(run.result)
         if not is_sc_result(program, run.result):
             non_sc.append(run.result)
+    if policy_name is None:
+        # No seeds ran; only then is a throwaway instantiation needed.
+        policy_name = policy_factory().name
     return SweepReport(
         program=program,
-        policy_name=policy_factory().name,
-        seeds_run=len(list(seeds)),
+        policy_name=policy_name,
+        seeds_run=len(seeds),
         distinct_results=len(seen),
         non_sc_results=non_sc,
         condition_violations=condition_problems,
@@ -101,6 +123,25 @@ class Definition2Evidence:
         )
 
 
+def evidence_row(
+    program: Program, drf0: bool, policy_name: str, report: SweepReport
+) -> Dict[str, object]:
+    """One :class:`Definition2Evidence` row.
+
+    Shared by the serial sweep and the parallel engine so both paths
+    produce byte-identical tables.
+    """
+    return {
+        "program": program.name,
+        "program_drf0": drf0,
+        "policy": policy_name,
+        "appears_sc": report.appears_sc,
+        "distinct_results": report.distinct_results,
+        "condition_violations": list(report.condition_violations),
+        "mean_cycles": report.mean_cycles,
+    }
+
+
 def definition2_sweep(
     programs: Iterable[Program],
     policy_factories: Dict[str, Callable[[], object]],
@@ -108,29 +149,31 @@ def definition2_sweep(
     seeds: Sequence[int] = range(20),
     drf0_seeds: Sequence[int] = range(30),
     exhaustive_drf0: bool = False,
+    check_51_conditions: bool = False,
 ) -> Definition2Evidence:
     """Sweep a suite of programs across policies, recording the evidence.
 
     Each row records whether the program obeys DRF0 (exhaustively, or
     sampled for programs too large to enumerate) and whether the policy
-    appeared sequentially consistent on it.
+    appeared sequentially consistent on it.  With ``check_51_conditions``
+    the Section-5.1 monitor runs on every hardware run and any violations
+    are recorded in the row's ``condition_violations``.
     """
     evidence = Definition2Evidence()
+    seeds = list(seeds)
+    drf0_seeds = list(drf0_seeds)
     for program in programs:
         if exhaustive_drf0:
             drf0 = check_program(program).obeys
         else:
             drf0 = check_program_sampled(program, seeds=drf0_seeds).obeys
         for name, factory in policy_factories.items():
-            report = contract_sweep(program, factory, config, seeds)
-            evidence.rows.append(
-                {
-                    "program": program.name,
-                    "program_drf0": drf0,
-                    "policy": name,
-                    "appears_sc": report.appears_sc,
-                    "distinct_results": report.distinct_results,
-                    "mean_cycles": report.mean_cycles,
-                }
+            report = contract_sweep(
+                program,
+                factory,
+                config,
+                seeds,
+                check_51_conditions=check_51_conditions,
             )
+            evidence.rows.append(evidence_row(program, drf0, name, report))
     return evidence

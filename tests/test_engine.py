@@ -1,0 +1,261 @@
+"""Tests for the parallel verification engine and the sweep-layer fixes.
+
+The engine's whole value rests on one property -- parallel output is
+bit-for-bit identical to the serial reference -- so most tests here are
+equality assertions between the two paths, including reruns that are
+served from the verdict caches.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import AdveHillPolicy, Definition1Policy, RelaxedPolicy, SCPolicy
+from repro.litmus.catalog import by_name, message_passing_sync
+from repro.litmus.harness import run_litmus_on_hardware
+from repro.sim.system import SystemConfig
+from repro.verify import (
+    CacheIntegrityError,
+    SCVerdictCache,
+    VerificationEngine,
+    contract_sweep,
+    definition2_sweep,
+    fuzz,
+    program_fingerprint,
+)
+
+from helpers import message_passing_program, store_buffer_program
+
+
+PROGRAMS = lambda: [message_passing_program(sync=True), store_buffer_program()]
+FACTORIES = {"adve-hill": AdveHillPolicy, "definition1": Definition1Policy}
+
+
+class TestSeedsMaterialization:
+    """Regression: generator-typed ``seeds`` used to record seeds_run=0."""
+
+    def test_contract_sweep_accepts_generator_seeds(self):
+        report = contract_sweep(
+            message_passing_program(sync=True),
+            AdveHillPolicy,
+            seeds=(s for s in range(6)),
+        )
+        assert report.seeds_run == 6
+        assert report.mean_cycles > 0
+
+    def test_litmus_harness_accepts_generator_seeds(self):
+        report = run_litmus_on_hardware(
+            message_passing_sync(),
+            AdveHillPolicy,
+            SystemConfig(),
+            seeds=(s for s in range(5)),
+        )
+        assert report.seeds_run == 5
+        assert report.results
+
+    def test_engine_accepts_generator_seeds(self):
+        report = VerificationEngine(jobs=1).contract_sweep(
+            message_passing_program(sync=True),
+            AdveHillPolicy,
+            seeds=(s for s in range(4)),
+        )
+        assert report.seeds_run == 4
+
+
+class TestPolicyNameCapture:
+    """The sweep must not instantiate a throwaway policy just for .name."""
+
+    def test_factory_called_once_per_seed(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return AdveHillPolicy()
+
+        report = contract_sweep(
+            message_passing_program(sync=True), factory, seeds=range(5)
+        )
+        assert report.policy_name == AdveHillPolicy().name
+        assert len(calls) == 5
+
+    def test_empty_seeds_still_names_the_policy(self):
+        report = contract_sweep(
+            message_passing_program(sync=True), AdveHillPolicy, seeds=[]
+        )
+        assert report.policy_name == AdveHillPolicy().name
+        assert report.seeds_run == 0
+        assert report.mean_cycles == 0.0
+
+
+class TestConditionPlumbing:
+    """definition2_sweep must forward check_51_conditions and record
+    condition_violations in its rows."""
+
+    def test_rows_carry_condition_violations(self):
+        evidence = definition2_sweep(
+            [message_passing_program(sync=True)],
+            {"adve-hill": AdveHillPolicy},
+            seeds=range(5),
+            exhaustive_drf0=True,
+            check_51_conditions=True,
+        )
+        assert all("condition_violations" in row for row in evidence.rows)
+        assert evidence.rows[0]["condition_violations"] == []
+
+    def test_violations_surface_for_broken_hardware(self):
+        from repro.machine.dsl import ThreadBuilder, build_program
+
+        # The strawman generates past uncommitted syncs (condition 4); this
+        # shape provokes it within a few seeds.
+        program = build_program(
+            [
+                ThreadBuilder().unset("s").store("x", 1),
+                ThreadBuilder().load("r", "x"),
+            ],
+            initial_memory={"s": 1},
+            name="sync-then-write",
+        )
+        evidence = definition2_sweep(
+            [program],
+            {"relaxed": RelaxedPolicy},
+            seeds=range(20),
+            exhaustive_drf0=True,
+            check_51_conditions=True,
+        )
+        assert evidence.rows[0]["condition_violations"]
+
+
+class TestParallelMatchesSerial:
+    """The acceptance property: engine output == serial output, always."""
+
+    def test_definition2_sweep_identical(self):
+        serial = definition2_sweep(
+            PROGRAMS(), FACTORIES, seeds=range(8), exhaustive_drf0=True,
+            check_51_conditions=True,
+        )
+        engine = VerificationEngine(jobs=2)
+        parallel = engine.definition2_sweep(
+            PROGRAMS(), FACTORIES, seeds=range(8), exhaustive_drf0=True,
+            check_51_conditions=True,
+        )
+        assert serial.rows == parallel.rows
+
+    def test_rerun_from_warm_caches_identical(self):
+        engine = VerificationEngine(jobs=2)
+        first = engine.definition2_sweep(
+            PROGRAMS(), FACTORIES, seeds=range(8), exhaustive_drf0=True
+        )
+        hits_before = engine.sc_cache.stats.hits
+        second = engine.definition2_sweep(
+            PROGRAMS(), FACTORIES, seeds=range(8), exhaustive_drf0=True
+        )
+        assert first.rows == second.rows
+        # The rerun must be served from the memo, not re-judged.
+        assert engine.sc_cache.stats.hits > hits_before
+        assert engine.drf0_cache.stats.hits >= len(PROGRAMS())
+
+    def test_contract_sweep_identical_including_violations(self):
+        serial = contract_sweep(
+            store_buffer_program(), RelaxedPolicy, seeds=range(30)
+        )
+        parallel = VerificationEngine(jobs=2).contract_sweep(
+            store_buffer_program(), RelaxedPolicy, seeds=range(30)
+        )
+        assert serial == parallel
+        assert not parallel.appears_sc  # the strawman really is broken
+
+    def test_fuzz_identical(self):
+        serial = fuzz(range(3))
+        parallel = VerificationEngine(jobs=2).fuzz(range(3))
+        assert serial.programs_run == parallel.programs_run
+        assert serial.hardware_runs == parallel.hardware_runs
+        assert serial.failures == parallel.failures
+
+    def test_jobs_zero_means_cpu_count(self):
+        engine = VerificationEngine(jobs=0)
+        assert engine.jobs >= 1
+
+
+#: Shared across property examples so later examples exercise the
+#: cache-hit path too (same program, overlapping seed sets).
+_PROPERTY_ENGINE = VerificationEngine(jobs=2)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seeds=st.lists(st.integers(min_value=0, max_value=40), max_size=6))
+def test_property_parallel_equals_serial_for_any_seed_set(seeds):
+    """For arbitrary seed sets (empty, duplicated, unordered alike), the
+    parallel engine's report equals the serial reference exactly."""
+    program = message_passing_program(sync=True)
+    serial = contract_sweep(
+        program, AdveHillPolicy, seeds=seeds, check_51_conditions=True
+    )
+    parallel = _PROPERTY_ENGINE.contract_sweep(
+        program, AdveHillPolicy, seeds=seeds, check_51_conditions=True
+    )
+    assert serial == parallel
+
+
+class TestVerdictCacheIntegrity:
+    """A poisoned memo entry must be detected, never silently served."""
+
+    def _warm_cache(self):
+        cache = SCVerdictCache()
+        engine = VerificationEngine(jobs=1, sc_cache=cache)
+        engine.contract_sweep(
+            message_passing_program(sync=True), AdveHillPolicy, seeds=range(6)
+        )
+        assert len(cache) > 0
+        return cache
+
+    def test_tampered_entry_raises_on_lookup(self):
+        cache = self._warm_cache()
+        key = next(iter(cache._entries))
+        verdict, checksum = cache._entries[key]
+        cache._entries[key] = (not verdict, checksum)  # poison in place
+        fingerprint, result = key
+        program = cache._programs[fingerprint]
+        with pytest.raises(CacheIntegrityError):
+            cache.lookup(program, result)
+
+    def test_consistently_poisoned_entry_caught_by_audit(self):
+        cache = self._warm_cache()
+        assert cache.audit() == []
+        key = next(iter(cache._entries))
+        fingerprint, result = key
+        program = cache._programs[fingerprint]
+        verdict, _ = cache._entries[key]
+        # Rewrite the entry wholesale -- wrong verdict, *valid* checksum --
+        # as a compromised worker would: lookup cannot see this...
+        cache.store(program, result, not verdict)
+        assert cache.lookup(program, result) == (not verdict)
+        # ...but the oracle re-derivation does.
+        assert key in cache.audit()
+
+    def test_fingerprint_ignores_name_but_not_code(self):
+        a = message_passing_program(sync=True)
+        b = message_passing_program(sync=True)
+        assert program_fingerprint(a) == program_fingerprint(b)
+        assert program_fingerprint(a) != program_fingerprint(
+            store_buffer_program()
+        )
+
+
+class TestCliIntegration:
+    def test_sweep_command_with_jobs(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(["sweep", "MP+sync", "--policy", "adve-hill",
+                  "--policy", "sc", "--seeds", "6", "--jobs", "2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Definition-2 contract: holds" in out
+        assert "adve-hill" in out and "sc" in out
+
+    def test_fuzz_command_with_jobs(self, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "--programs", "2", "--jobs", "2"]) == 0
+        assert "0 failures" in capsys.readouterr().out
