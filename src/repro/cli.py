@@ -114,20 +114,48 @@ def cmd_litmus(args) -> int:
     return 1 if failures else 0
 
 
+def _print_explorer_stats(stats, elapsed: Optional[float] = None) -> None:
+    """Render an :class:`~repro.core.engine_state.ExplorerStats` block."""
+    if stats is None:
+        print("  explorer stats: not collected for this mode")
+        return
+    print(
+        f"  explorer stats: {stats.states} states, "
+        f"{stats.transitions} transitions, {stats.executions} executions"
+    )
+    print(
+        f"                  max undo depth {stats.max_depth}, "
+        f"{stats.sleep_cuts} sleep-set cuts, "
+        f"peak visited-set size {stats.peak_visited}"
+    )
+    if elapsed is not None and elapsed > 0:
+        print(f"                  {stats.states / elapsed:,.0f} states/sec")
+
+
 def cmd_drf0(args) -> int:
+    import time
+
     program = _resolve_program(args.name)
+    start = time.perf_counter()
     if args.sampled:
         report = check_program_sampled(program, seeds=range(args.seeds))
         mode = f"sampled over {report.executions_checked} executions"
     elif args.dpor:
         from repro.core.dpor import check_program_dpor
+        from repro.core.sc import ExplorationConfig
 
-        report = check_program_dpor(program)
+        cfg = ExplorationConfig(sleep_sets=not args.no_sleep_sets)
+        report = check_program_dpor(program, config=cfg)
         mode = f"DPOR over {report.executions_checked} representative executions"
+        if args.no_sleep_sets:
+            mode += ", sleep sets off"
     else:
         report = check_program(program)
         mode = f"exhaustive over {report.executions_checked} executions"
+    elapsed = time.perf_counter() - start
     print(f"{program.name}: {'obeys' if report.obeys else 'violates'} DRF0 ({mode})")
+    if args.stats:
+        _print_explorer_stats(report.stats, elapsed)
     if report.race is not None:
         print(f"  race: {report.race}")
         if report.witness is not None and args.witness:
@@ -215,6 +243,9 @@ def cmd_sweep(args) -> int:
             f"{row['mean_cycles']:.1f}"
         )
     holds = evidence.contract_holds
+    if args.stats:
+        print("\noracle work (SC-membership judgments + DRF0 verdicts):")
+        _print_explorer_stats(engine.explorer_stats)
     print(f"\nDefinition-2 contract: {'holds' if holds else 'VIOLATED'}")
     return 0 if holds else 1
 
@@ -265,8 +296,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sampled", action="store_true")
     p.add_argument("--dpor", action="store_true",
                    help="partial-order reduction (bounded programs)")
+    p.add_argument("--no-sleep-sets", action="store_true",
+                   help="with --dpor: disable the sleep-set pruning layer")
     p.add_argument("--seeds", type=int, default=50)
     p.add_argument("--witness", action="store_true")
+    p.add_argument("--stats", action="store_true",
+                   help="print explorer counters (states/sec, undo depth, "
+                        "sleep-set cuts, peak visited-set size)")
     p.set_defaults(func=cmd_drf0)
 
     p = sub.add_parser("models", help="axiomatic admission table")
@@ -300,6 +336,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (0 = one per CPU); output is "
                         "identical to --jobs 1")
+    p.add_argument("--stats", action="store_true",
+                   help="print aggregate explorer counters for the oracle "
+                        "work the sweep dispatched")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("delays", help="Shasha-Snir delay pairs")

@@ -10,8 +10,10 @@ from repro.core.contract import (
 from repro.core.dpor import (
     check_program_dpor,
     explore_dpor,
+    iter_dpor_executions,
     sc_results_dpor,
 )
+from repro.core.engine_state import EngineState, ExplorerStats
 from repro.core.drf0 import (
     DRF0Report,
     Race,
@@ -49,10 +51,12 @@ __all__ = [
     "DRF0_MODEL",
     "DRF1",
     "DRF1_MODEL",
+    "EngineState",
     "Execution",
     "Exploration",
     "ExplorationConfig",
     "ExplorationIncomplete",
+    "ExplorerStats",
     "Location",
     "OpKind",
     "Operation",
@@ -71,6 +75,7 @@ __all__ = [
     "conflicts",
     "explore",
     "explore_dpor",
+    "iter_dpor_executions",
     "sc_results_dpor",
     "happens_before",
     "is_sc_result",

@@ -26,10 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.core.engine_state import EngineState, ExplorerStats
 from repro.core.execution import Result
-from repro.core.sc import _Thread, _advance, _initial_threads, execute_atomically
-from repro.core.types import Location, Value
-from repro.machine.interpreter import complete
 from repro.machine.program import Program
 
 
@@ -37,7 +35,12 @@ class ContractSearchLimit(RuntimeError):
     """Raised when the guided membership search exceeds its state budget."""
 
 
-def is_sc_result(program: Program, result: Result, max_states: int = 2_000_000) -> bool:
+def is_sc_result(
+    program: Program,
+    result: Result,
+    max_states: int = 2_000_000,
+    stats: Optional[ExplorerStats] = None,
+) -> bool:
     """True iff ``result`` is the result of some idealized execution.
 
     This is the membership test behind "appears sequentially consistent":
@@ -45,32 +48,30 @@ def is_sc_result(program: Program, result: Result, max_states: int = 2_000_000) 
     histories.  Read operations may only complete with the observed value;
     the search succeeds when all threads halt having consumed their entire
     read history and the final memory matches.
+
+    The search runs on the in-place do/undo transition engine
+    (:class:`~repro.core.engine_state.EngineState`); pass ``stats`` to
+    accumulate its exploration counters.
     """
     if len(result.reads) != program.num_procs:
         return False
-    expected_reads = [list(values) for values in result.reads]
-    expected_memory = dict(result.final_memory)
-    if set(expected_memory) != set(program.initial_memory):
+    expected_reads = [tuple(values) for values in result.reads]
+    if set(dict(result.final_memory)) != set(program.initial_memory):
         return False
+    expected_memory = tuple(sorted(result.final_memory))
 
+    engine = EngineState(program)
     visited: Set[object] = set()
     states = 0
 
-    def key(threads: Sequence[_Thread], memory: Dict[Location, Value], pos: Sequence[int]):
-        return (
-            tuple(t.state.key() for t in threads),
-            tuple(sorted(memory.items())),
-            tuple(pos),
-        )
-
-    def dfs(threads: List[_Thread], memory: Dict[Location, Value], pos: List[int]) -> bool:
+    def dfs() -> bool:
         nonlocal states
-        runnable = [i for i, t in enumerate(threads) if t.pending is not None]
+        runnable = engine.runnable()
         if not runnable:
-            if any(p != len(expected_reads[i]) for i, p in enumerate(pos)):
+            if engine.read_counts() != tuple(len(r) for r in expected_reads):
                 return False
-            return dict(memory) == expected_memory
-        k = key(threads, memory, pos)
+            return engine.final_memory() == expected_memory
+        k = (engine.config_key(), engine.read_counts())
         if k in visited:
             return False
         visited.add(k)
@@ -80,29 +81,29 @@ def is_sc_result(program: Program, result: Result, max_states: int = 2_000_000) 
                 f"guided SC search exceeded {max_states} configurations"
             )
         for proc in runnable:
-            request = threads[proc].pending
+            request = engine.pending(proc)
             assert request is not None
             if request.kind.has_read:
-                if pos[proc] >= len(expected_reads[proc]):
+                pos = len(engine.reads[proc])
+                if pos >= len(expected_reads[proc]):
                     continue  # observed history exhausted; branch impossible
-                if memory[request.location] != expected_reads[proc][pos[proc]]:
+                if engine.read_value(request.location) != expected_reads[proc][pos]:
                     continue  # would read a value the hardware never returned
-            new_threads = [t.copy() for t in threads]
-            new_memory = dict(memory)
-            new_pos = list(pos)
-            thread = new_threads[proc]
-            value_read, _ = execute_atomically(new_memory, request)
-            if value_read is not None:
-                new_pos[proc] += 1
-            complete(program.threads[proc], thread.state, request, value_read)
-            _advance(program, proc, thread)
-            if dfs(new_threads, new_memory, new_pos):
-                return True
+            engine.step(proc)
+            try:
+                if dfs():
+                    return True
+            finally:
+                engine.undo()
         return False
 
-    threads = _initial_threads(program)
-    memory = dict(program.initial_memory)
-    return dfs(threads, memory, [0] * program.num_procs)
+    found = dfs()
+    if stats is not None:
+        stats.states += states
+        stats.transitions += engine.transitions
+        stats.max_depth = max(stats.max_depth, engine.max_depth)
+        stats.peak_visited = max(stats.peak_visited, len(visited))
+    return found
 
 
 @dataclass

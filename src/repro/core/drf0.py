@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.engine_state import EngineState, ExplorerStats
 from repro.core.execution import Execution
 from repro.core.models import DRF0_MODEL, SynchronizationModel
 from repro.core.ops import Operation, conflicts
@@ -44,8 +45,6 @@ from repro.core.sc import (
     ExplorationIncomplete,
     random_sc_execution,
 )
-from repro.core import sc as sc_module
-from repro.machine.interpreter import MemRequest, ThreadState, complete, run_to_memory_op
 from repro.machine.program import Program
 
 
@@ -232,6 +231,7 @@ class DRF0Report:
     race: Optional[Race] = None
     witness: Optional[Execution] = None
     complete: bool = True
+    stats: Optional[ExplorerStats] = None
 
     def __bool__(self) -> bool:
         return self.obeys
@@ -247,11 +247,14 @@ def check_program(
     Enumerates every interleaving (livelock cycles are explored once: a
     branch that revisits a thread-states+memory configuration already on the
     current path is pruned, since the first visit explores every scheduling
-    alternative from that configuration).  Stops at the first race.
+    alternative from that configuration).  Executions are race-checked as
+    they are produced -- the exploration stops at the first race without
+    expanding the rest of the tree, and no execution list is materialized.
     """
     cfg = config or ExplorationConfig(max_ops=400)
+    stats = ExplorerStats()
     checked = 0
-    for execution in _all_interleavings(program, cfg):
+    for execution in _all_interleavings(program, cfg, stats):
         checked += 1
         races = races_in_execution_vc(execution, model)
         if races:
@@ -262,9 +265,11 @@ def check_program(
                 executions_checked=checked,
                 race=races[0],
                 witness=execution,
+                stats=stats,
             )
     return DRF0Report(
-        program=program, model_name=model.name, obeys=True, executions_checked=checked
+        program=program, model_name=model.name, obeys=True,
+        executions_checked=checked, stats=stats,
     )
 
 
@@ -302,65 +307,63 @@ def check_program_sampled(
     )
 
 
-def _all_interleavings(program: Program, cfg: ExplorationConfig):
+def _all_interleavings(
+    program: Program,
+    cfg: ExplorationConfig,
+    stats: Optional[ExplorerStats] = None,
+):
     """Yield every interleaving as an execution, pruning livelock cycles.
 
     Unlike :func:`repro.core.sc.explore` with ``dedup=False``, this
     generator prunes branches that revisit a (thread states, memory)
     configuration already on the current DFS path, so programs with spin
-    loops have a finite exploration.
+    loops have a finite exploration.  Runs on the in-place do/undo engine;
+    consumers that stop early abandon the generator and the rest of the
+    tree is never expanded.
     """
-    from repro.core.execution import final_memory_from_dict
-    from repro.core.sc import _Thread, _advance, _initial_threads, execute_atomically
+    engine = EngineState(program)
+    stats = stats if stats is not None else ExplorerStats()
+    on_path: Set[object] = set()
+    # Straight-line programs cannot revisit a configuration on a DFS path:
+    # skip cycle tracking (and with it all key maintenance).
+    track_cycles = not engine.straightline
 
-    def path_key(threads, memory):
-        return (
-            tuple(t.state.key() for t in threads),
-            tuple(sorted(memory.items())),
-        )
-
-    def dfs(threads, memory, trace, po_counts, on_path: Set[object]):
-        runnable = [i for i, t in enumerate(threads) if t.pending is not None]
+    def dfs():
+        runnable = engine.runnable()
         if not runnable:
-            yield Execution(program, tuple(trace), final_memory_from_dict(memory))
+            stats.executions += 1
+            yield engine.execution()
             return
-        if len(trace) >= cfg.max_ops:
+        if engine.depth >= cfg.max_ops:
             if cfg.allow_incomplete:
                 return
             raise ExplorationIncomplete(
                 f"interleaving exceeded {cfg.max_ops} operations"
             )
-        key = path_key(threads, memory)
-        if key in on_path:
-            return  # livelock cycle: already explored from its first visit
-        on_path.add(key)
+        key = None
+        if track_cycles:
+            key = engine.config_key()
+            if key in on_path:
+                return  # livelock cycle: already explored from its first visit
+        stats.states += 1
+        if track_cycles:
+            on_path.add(key)
         try:
             for proc in runnable:
-                new_threads = [t.copy() for t in threads]
-                new_memory = dict(memory)
-                new_po = list(po_counts)
-                thread = new_threads[proc]
-                request = thread.pending
-                value_read, value_written = execute_atomically(new_memory, request)
-                op = Operation(
-                    uid=len(trace),
-                    proc=proc,
-                    po_index=new_po[proc],
-                    kind=request.kind,
-                    location=request.location,
-                    value_read=value_read,
-                    value_written=value_written,
-                )
-                new_po[proc] += 1
-                complete(program.threads[proc], thread.state, request, value_read)
-                _advance(program, proc, thread)
-                yield from dfs(new_threads, new_memory, trace + [op], new_po, on_path)
+                engine.step(proc)
+                try:
+                    yield from dfs()
+                finally:
+                    engine.undo()
         finally:
-            on_path.remove(key)
+            if track_cycles:
+                on_path.remove(key)
 
-    threads = _initial_threads(program)
-    memory = dict(program.initial_memory)
-    yield from dfs(threads, memory, [], [0] * program.num_procs, set())
+    try:
+        yield from dfs()
+    finally:
+        stats.transitions = engine.transitions
+        stats.max_depth = engine.max_depth
 
 
 def obeys_drf0(program: Program, **kwargs) -> bool:

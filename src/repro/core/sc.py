@@ -6,6 +6,11 @@ in program order".  This module *is* that architecture: an explicit-state
 enumerator that explores every interleaving of a program's memory
 operations, executing each operation atomically.
 
+The search runs on the shared in-place do/undo transition engine
+(:class:`repro.core.engine_state.EngineState`): one live configuration,
+stepped forward and rewound via an undo log, with incrementally maintained
+configuration keys -- no per-node copying of thread states or memory.
+
 Two exploration modes matter:
 
 * ``dedup=True`` (default): configurations that agree on thread states,
@@ -17,6 +22,11 @@ Two exploration modes matter:
   :class:`~repro.core.execution.Execution` trace.  The DRF0 checker uses
   this mode because two interleavings with the same observable state can
   still have different happens-before relations.
+
+Result-set-only callers can additionally set
+``collect_executions=False`` so finished executions are *consumed as they
+are produced* (folded into the result set) instead of materialized in a
+list -- :func:`sc_results` does.
 
 Programs with synchronization spin loops have *unboundedly many* SC results
 (every spin count is a distinct read history), so exploration prunes
@@ -36,19 +46,29 @@ unless ``allow_incomplete`` is set.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, List, Optional, Set
 
-from repro.core.execution import Execution, Result, final_memory_from_dict
-from repro.core.ops import Operation
-from repro.core.types import Location, OpKind, Value
-from repro.machine.interpreter import (
-    MemRequest,
-    ThreadState,
-    complete,
-    run_to_memory_op,
+from repro.core.engine_state import (
+    EngineState,
+    ExplorerStats,
+    _Thread,
+    _advance,
+    _initial_threads,
+    execute_atomically,
 )
+from repro.core.execution import Execution, Result
 from repro.machine.program import Program
+
+__all__ = [
+    "ExplorationConfig",
+    "ExplorationIncomplete",
+    "Exploration",
+    "explore",
+    "sc_results",
+    "sc_executions",
+    "random_sc_execution",
+]
 
 
 class ExplorationIncomplete(RuntimeError):
@@ -68,6 +88,12 @@ class ExplorationConfig:
         dedup: Merge configurations with identical observable state.
         allow_incomplete: Return partial answers instead of raising when a
             cap is hit.
+        collect_executions: Materialize every finished execution in
+            :attr:`Exploration.executions`.  Result-set-only callers set
+            this to ``False`` to stream executions into the result fold.
+        sleep_sets: Let the DPOR explorer layer sleep sets over its
+            backtrack sets (prunes redundant branches; no effect on the
+            naive enumerator).
     """
 
     max_executions: Optional[int] = None
@@ -75,6 +101,8 @@ class ExplorationConfig:
     max_states: int = 2_000_000
     dedup: bool = True
     allow_incomplete: bool = False
+    collect_executions: bool = True
+    sleep_sets: bool = True
 
 
 @dataclass
@@ -86,6 +114,7 @@ class Exploration:
     results: Set[Result]
     complete: bool
     states_visited: int = 0
+    stats: ExplorerStats = field(default_factory=ExplorerStats)
 
     @property
     def result_set(self) -> FrozenSet[Result]:
@@ -93,222 +122,134 @@ class Exploration:
         return frozenset(self.results)
 
 
-class _Thread:
-    """Exploration-time view of one thread: state plus pending request."""
-
-    __slots__ = ("state", "pending")
-
-    def __init__(self, state: ThreadState, pending: Optional[MemRequest]) -> None:
-        self.state = state
-        self.pending = pending
-
-    def copy(self) -> "_Thread":
-        return _Thread(self.state.copy(), self.pending)
-
-
-def _advance(program: Program, proc: int, thread: _Thread) -> None:
-    """Run thread ``proc`` to its next memory operation (skipping delays)."""
-    pending, _ = run_to_memory_op(
-        program.threads[proc], thread.state, skip_delays=True
-    )
-    assert pending is None or isinstance(pending, MemRequest)
-    thread.pending = pending
-
-
-def _initial_threads(program: Program) -> List[_Thread]:
-    threads = []
-    for proc in range(program.num_procs):
-        thread = _Thread(ThreadState(), None)
-        _advance(program, proc, thread)
-        threads.append(thread)
-    return threads
-
-
-def execute_atomically(
-    memory: Dict[Location, Value], request: MemRequest
-) -> Tuple[Optional[Value], Optional[Value]]:
-    """Perform one memory operation atomically against ``memory``.
-
-    Returns ``(value_read, value_written)`` with ``None`` for the missing
-    component.  This tiny function is the entire memory semantics of the
-    idealized architecture.
-    """
-    value_read: Optional[Value] = None
-    value_written: Optional[Value] = None
-    if request.kind.has_read:
-        value_read = memory[request.location]
-    if request.kind.has_write:
-        assert request.write_value is not None
-        memory[request.location] = request.write_value
-        value_written = request.write_value
-    return value_read, value_written
-
-
 def explore(
     program: Program, config: Optional[ExplorationConfig] = None
 ) -> Exploration:
     """Enumerate executions of ``program`` on the idealized architecture."""
     cfg = config or ExplorationConfig()
+    engine = EngineState(program)
     executions: List[Execution] = []
     results: Set[Result] = set()
     visited: Set[object] = set()
-    stats = {"states": 0, "complete": True}
+    stats = ExplorerStats()
+    state = {"complete": True}
+    collect = cfg.collect_executions
 
-    def config_key(
-        threads: Sequence[_Thread],
-        memory: Dict[Location, Value],
-        reads: Sequence[Tuple[Value, ...]],
-    ) -> object:
-        return (
-            tuple(t.state.key() for t in threads),
-            tuple(sorted(memory.items())),
-            tuple(reads),
-        )
+    # Straight-line programs cannot revisit a configuration on a DFS path,
+    # so livelock-cycle tracking (and, without dedup, every key) is skipped.
+    track_cycles = not engine.straightline
 
-    def emit(
-        threads: Sequence[_Thread],
-        memory: Dict[Location, Value],
-        trace: List[Operation],
-    ) -> bool:
-        """Record a finished execution; returns False when capped."""
-        execution = Execution(program, tuple(trace), final_memory_from_dict(memory))
-        executions.append(execution)
-        results.add(execution.result())
-        if cfg.max_executions is not None and len(executions) >= cfg.max_executions:
-            stats["complete"] = False
+    def emit() -> bool:
+        """Consume a finished execution; returns False when capped."""
+        stats.executions += 1
+        if collect:
+            execution = engine.execution()
+            executions.append(execution)
+            results.add(Result(tuple(engine.reads), execution.final_memory))
+        else:
+            results.add(engine.result())
+        if cfg.max_executions is not None and stats.executions >= cfg.max_executions:
+            state["complete"] = False
             return False
         return True
 
-    def dfs(
-        threads: List[_Thread],
-        memory: Dict[Location, Value],
-        trace: List[Operation],
-        reads: List[Tuple[Value, ...]],
-        po_counts: List[int],
-        on_path: Set[object],
-    ) -> bool:
+    def dfs() -> bool:
         """Returns False to abort the whole exploration (cap hit)."""
-        runnable = [i for i, t in enumerate(threads) if t.pending is not None]
+        runnable = engine.runnable()
         if not runnable:
-            return emit(threads, memory, trace)
-        if len(trace) >= cfg.max_ops:
-            stats["complete"] = False
+            return emit()
+        if engine.depth >= cfg.max_ops:
+            state["complete"] = False
             if cfg.allow_incomplete:
                 return True
             raise ExplorationIncomplete(
                 f"execution exceeded {cfg.max_ops} operations; "
                 "the program may spin forever under some schedule"
             )
-        cycle_key = (
-            tuple(t.state.key() for t in threads),
-            tuple(sorted(memory.items())),
-        )
-        if cycle_key in on_path:
+        cycle_key = None
+        if track_cycles or cfg.dedup:
+            cycle_key = engine.config_key()
+        if track_cycles and cycle_key in on_path:
             return True  # livelock cycle: already explored from its first visit
         if cfg.dedup:
-            key = config_key(threads, memory, reads)
+            key = (cycle_key, engine.reads_key())
             if key in visited:
                 return True
             visited.add(key)
-            stats["states"] += 1
-            if stats["states"] > cfg.max_states:
-                stats["complete"] = False
-                if cfg.allow_incomplete:
-                    return True
-                raise ExplorationIncomplete(
-                    f"visited more than {cfg.max_states} configurations"
-                )
-        on_path.add(cycle_key)
+        stats.states += 1
+        if stats.states > cfg.max_states:
+            state["complete"] = False
+            if cfg.allow_incomplete:
+                return True
+            raise ExplorationIncomplete(
+                f"visited more than {cfg.max_states} configurations"
+            )
+        if track_cycles:
+            on_path.add(cycle_key)
         try:
             for proc in runnable:
-                new_threads = [t.copy() for t in threads]
-                new_memory = dict(memory)
-                new_reads = list(reads)
-                new_po = list(po_counts)
-                thread = new_threads[proc]
-                request = thread.pending
-                assert request is not None
-                value_read, value_written = execute_atomically(new_memory, request)
-                op = Operation(
-                    uid=len(trace),
-                    proc=proc,
-                    po_index=new_po[proc],
-                    kind=request.kind,
-                    location=request.location,
-                    value_read=value_read,
-                    value_written=value_written,
-                )
-                new_po[proc] += 1
-                if value_read is not None:
-                    new_reads[proc] = new_reads[proc] + (value_read,)
-                complete(program.threads[proc], thread.state, request, value_read)
-                _advance(program, proc, thread)
-                if not dfs(
-                    new_threads, new_memory, trace + [op], new_reads, new_po, on_path
-                ):
-                    return False
+                engine.step(proc)
+                try:
+                    if not dfs():
+                        return False
+                finally:
+                    engine.undo()
         finally:
-            on_path.remove(cycle_key)
+            if track_cycles:
+                on_path.remove(cycle_key)
         return True
 
-    threads = _initial_threads(program)
-    memory = dict(program.initial_memory)
-    dfs(threads, memory, [], [() for _ in threads], [0] * program.num_procs, set())
+    on_path: Set[object] = set()
+    dfs()
+    stats.transitions = engine.transitions
+    stats.max_depth = engine.max_depth
+    stats.peak_visited = len(visited)
     return Exploration(
         program=program,
         executions=executions,
         results=results,
-        complete=stats["complete"],
-        states_visited=stats["states"],
+        complete=state["complete"],
+        states_visited=stats.states,
+        stats=stats,
     )
 
 
 def sc_results(
     program: Program, config: Optional[ExplorationConfig] = None
 ) -> FrozenSet[Result]:
-    """The exact set of sequentially consistent results of ``program``."""
-    cfg = config or ExplorationConfig()
-    cfg.dedup = True
+    """The exact set of sequentially consistent results of ``program``.
+
+    The caller's config is copied, never mutated; executions are streamed
+    into the result fold instead of being materialized.
+    """
+    if config is None:
+        cfg = ExplorationConfig(dedup=True, collect_executions=False)
+    else:
+        cfg = replace(config, dedup=True, collect_executions=False)
     return explore(program, cfg).result_set
 
 
 def sc_executions(
     program: Program, config: Optional[ExplorationConfig] = None
 ) -> List[Execution]:
-    """Every interleaving of ``program`` as a distinct execution trace."""
-    cfg = config or ExplorationConfig(dedup=False)
-    cfg.dedup = False
+    """Every interleaving of ``program`` as a distinct execution trace.
+
+    The caller's config is copied, never mutated.
+    """
+    if config is None:
+        cfg = ExplorationConfig(dedup=False)
+    else:
+        cfg = replace(config, dedup=False, collect_executions=True)
     return explore(program, cfg).executions
 
 
 def random_sc_execution(program: Program, seed: int = 0) -> Execution:
     """One sequentially consistent execution under a random fair schedule."""
     rng = random.Random(seed)
-    threads = _initial_threads(program)
-    memory = dict(program.initial_memory)
-    trace: List[Operation] = []
-    po_counts = [0] * program.num_procs
+    engine = EngineState(program)
     while True:
-        runnable = [i for i, t in enumerate(threads) if t.pending is not None]
+        runnable = engine.runnable()
         if not runnable:
             break
-        proc = rng.choice(runnable)
-        thread = threads[proc]
-        request = thread.pending
-        assert request is not None
-        value_read, value_written = execute_atomically(memory, request)
-        trace.append(
-            Operation(
-                uid=len(trace),
-                proc=proc,
-                po_index=po_counts[proc],
-                kind=request.kind,
-                location=request.location,
-                value_read=value_read,
-                value_written=value_written,
-            )
-        )
-        po_counts[proc] += 1
-        complete(program.threads[proc], thread.state, request, value_read)
-        _advance(program, proc, thread)
-    return Execution(program, tuple(trace), final_memory_from_dict(memory))
+        engine.step(rng.choice(runnable))
+    return engine.execution()

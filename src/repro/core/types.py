@@ -48,20 +48,22 @@ class OpKind(enum.Enum):
     SYNC_WRITE = "sync_write"        # write-only synchronization (Unset)
     SYNC_RMW = "sync_rmw"            # read-write synchronization (TestAndSet)
 
-    @property
-    def is_sync(self) -> bool:
-        """True for operations recognizable by hardware as synchronization."""
-        return self in (OpKind.SYNC_READ, OpKind.SYNC_WRITE, OpKind.SYNC_RMW)
+    # ``is_sync`` / ``has_read`` / ``has_write`` are plain per-member
+    # attributes (assigned below): the exploration engine reads them on
+    # every transition, and property dispatch showed up in its profiles.
+    is_sync: bool
+    has_read: bool
+    has_write: bool
 
-    @property
-    def has_read(self) -> bool:
-        """True if the operation has a read component (paper's convention)."""
-        return self in (OpKind.DATA_READ, OpKind.SYNC_READ, OpKind.SYNC_RMW)
 
-    @property
-    def has_write(self) -> bool:
-        """True if the operation has a write component (paper's convention)."""
-        return self in (OpKind.DATA_WRITE, OpKind.SYNC_WRITE, OpKind.SYNC_RMW)
+for _kind in OpKind:
+    #: True for operations recognizable by hardware as synchronization.
+    _kind.is_sync = _kind in (OpKind.SYNC_READ, OpKind.SYNC_WRITE, OpKind.SYNC_RMW)
+    #: True if the operation has a read component (paper's convention).
+    _kind.has_read = _kind in (OpKind.DATA_READ, OpKind.SYNC_READ, OpKind.SYNC_RMW)
+    #: True if the operation has a write component (paper's convention).
+    _kind.has_write = _kind in (OpKind.DATA_WRITE, OpKind.SYNC_WRITE, OpKind.SYNC_RMW)
+del _kind
 
 
 class Condition(enum.Enum):

@@ -64,8 +64,25 @@ class ThreadState:
         self.regs: Dict[str, Value] = dict(regs) if regs else {}
 
     def copy(self) -> "ThreadState":
-        """Independent copy (used by the SC enumerator's DFS)."""
+        """Independent copy (used by the legacy snapshot-based DFS)."""
         return ThreadState(self.pc, self.regs)
+
+    def snapshot(self) -> Tuple[int, Dict[str, Value]]:
+        """Cheap pre-step checkpoint for the do/undo transition engine.
+
+        Unlike :meth:`copy` this allocates no new ``ThreadState``; the
+        returned pair is meant to be stored in an undo frame and handed
+        back to :meth:`restore`, which may then *adopt* the saved dict.
+        """
+        return (self.pc, dict(self.regs))
+
+    def restore(self, snapshot: Tuple[int, Dict[str, Value]]) -> None:
+        """Rewind to a :meth:`snapshot`.
+
+        Adopts the snapshot's register dict (the undo frame held the only
+        other reference, so no defensive copy is needed).
+        """
+        self.pc, self.regs = snapshot
 
     def key(self) -> Tuple[int, Tuple[Tuple[str, Value], ...]]:
         """Hashable snapshot for state deduplication."""

@@ -50,6 +50,7 @@ from typing import (
 
 from repro.core.contract import is_sc_result
 from repro.core.drf0 import check_program, check_program_sampled
+from repro.core.engine_state import ExplorerStats
 from repro.core.execution import Result
 from repro.machine.generator import GeneratorConfig
 from repro.machine.program import Program
@@ -166,13 +167,19 @@ def _execute_task(task: tuple):
         return [_run_one(cell, seed) for seed in seeds]
     if kind == "judge":
         _, cell_index, result = task
-        return is_sc_result(ctx.cells[cell_index].program, result)
+        stats = ExplorerStats()
+        verdict = is_sc_result(
+            ctx.cells[cell_index].program, result, stats=stats
+        )
+        return verdict, stats
     if kind == "drf0":
         _, program_index = task
         program = ctx.programs[program_index]
         if ctx.exhaustive_drf0:
-            return check_program(program).obeys
-        return check_program_sampled(program, seeds=ctx.drf0_seeds).obeys
+            report = check_program(program)
+        else:
+            report = check_program_sampled(program, seeds=ctx.drf0_seeds)
+        return report.obeys, report.stats
     if kind == "fuzz":
         _, seed = task
         return fuzz_one_seed(
@@ -230,6 +237,11 @@ class VerificationEngine:
         self.drf0_cache = (
             drf0_cache if drf0_cache is not None else DRF0VerdictCache()
         )
+        #: Aggregate exploration counters from every oracle task this
+        #: engine dispatched (guided SC-membership searches and exhaustive
+        #: DRF0 verdicts).  Cache hits add nothing -- the counters measure
+        #: work actually done, which is what the benchmarks report.
+        self.explorer_stats = ExplorerStats()
 
     # ------------------------------------------------------------------
     # Dispatch plumbing
@@ -308,10 +320,11 @@ class VerificationEngine:
                 claimed.add(key)
                 if self.sc_cache.lookup(program, summary.result) is None:
                     pending.append((cell_index, summary.result))
-        verdicts = session.map(
+        values = session.map(
             [("judge", cell_index, result) for cell_index, result in pending]
         )
-        for (cell_index, result), verdict in zip(pending, verdicts):
+        for (cell_index, result), (verdict, stats) in zip(pending, values):
+            self.explorer_stats.merge(stats)
             self.sc_cache.store(cells[cell_index].program, result, verdict)
 
     def _assemble_sweep(
@@ -425,7 +438,11 @@ class VerificationEngine:
             ]
             drf0_tasks = [("drf0", index) for index in drf0_pending]
             values = session.map(drf0_tasks + run_tasks)
-            for index, verdict in zip(drf0_pending, values[: len(drf0_tasks)]):
+            for index, (verdict, stats) in zip(
+                drf0_pending, values[: len(drf0_tasks)]
+            ):
+                if stats is not None:
+                    self.explorer_stats.merge(stats)
                 self.drf0_cache.store(
                     programs[index], exhaustive_drf0, drf0_tuple, verdict
                 )

@@ -1,0 +1,252 @@
+"""Differential tests: the in-place do/undo engine vs the frozen legacy
+snapshot explorers (:mod:`repro.core._legacy`).
+
+The E10 refactor replaced the copy-everything inner loops of the naive
+enumerator, the DPOR explorer, and the DRF0 checker with one shared
+engine.  These tests pin the refactor's contract: **bit-identical
+observable answers** -- SC result sets, DRF0 race verdicts, and
+``complete`` flags -- across the full litmus catalog and hundreds of
+generated programs, with sleep sets both on and off, including the
+cap-hit paths under ``allow_incomplete``.
+"""
+
+import pytest
+
+from repro.core._legacy import (
+    legacy_check_program,
+    legacy_check_program_dpor,
+    legacy_explore,
+    legacy_explore_dpor,
+    legacy_is_sc_result,
+)
+from repro.core.contract import is_sc_result
+from repro.core.dpor import (
+    _StackEntry,
+    check_program_dpor,
+    explore_dpor,
+    iter_dpor_executions,
+    sc_results_dpor,
+)
+from repro.core.drf0 import check_program
+from repro.core.engine_state import ExplorerStats
+from repro.core.sc import (
+    ExplorationConfig,
+    ExplorationIncomplete,
+    explore,
+    sc_executions,
+    sc_results,
+)
+from repro.litmus.catalog import all_tests, by_name, iriw
+from repro.machine.dsl import ThreadBuilder, build_program
+from repro.machine.generator import random_program
+from repro.core.types import Condition
+
+CATALOG = all_tests()
+STRAIGHT_TESTS = [t for t in CATALOG if t.program.is_straight_line()]
+
+NO_SLEEP = ExplorationConfig(sleep_sets=False)
+
+
+# ---------------------------------------------------------------------------
+# Litmus catalog
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("test", CATALOG, ids=lambda t: t.name)
+def test_catalog_naive_matches_legacy(test):
+    """Same result sets, execution counts, and complete flags, per test."""
+    for cfg in (ExplorationConfig(dedup=True), ExplorationConfig(dedup=False)):
+        new = explore(test.program, cfg)
+        old = legacy_explore(test.program, cfg)
+        assert new.results == old.results
+        assert new.complete == old.complete
+        assert len(new.executions) == len(old.executions)
+
+
+@pytest.mark.parametrize("test", STRAIGHT_TESTS, ids=lambda t: t.name)
+def test_catalog_dpor_matches_naive_both_sleep_modes(test):
+    """DPOR (sleep sets on and off) and legacy DPOR agree with naive."""
+    naive = sc_results(test.program)
+    assert sc_results_dpor(test.program) == naive
+    assert sc_results_dpor(test.program, NO_SLEEP) == naive
+    assert {e.result() for e in legacy_explore_dpor(test.program)} == naive
+
+
+@pytest.mark.parametrize("test", STRAIGHT_TESTS, ids=lambda t: t.name)
+def test_catalog_drf0_verdicts_agree(test):
+    """Every checker variant returns the catalog's recorded DRF0 verdict."""
+    assert check_program(test.program).obeys == test.drf0
+    assert legacy_check_program(test.program).obeys == test.drf0
+    assert check_program_dpor(test.program).obeys == test.drf0
+    assert check_program_dpor(test.program, config=NO_SLEEP).obeys == test.drf0
+    assert legacy_check_program_dpor(test.program).obeys == test.drf0
+
+
+@pytest.mark.parametrize("test", STRAIGHT_TESTS[:4], ids=lambda t: t.name)
+def test_catalog_contract_membership_matches_legacy(test):
+    """The guided SC-membership search agrees with its snapshot ancestor."""
+    for result in sorted(sc_results(test.program), key=repr):
+        assert is_sc_result(test.program, result)
+        assert legacy_is_sc_result(test.program, result)
+
+
+# ---------------------------------------------------------------------------
+# Generated programs (>= 200 seeds, deterministic)
+# ---------------------------------------------------------------------------
+
+
+def test_generated_programs_all_explorers_agree():
+    """One sweep over 200 seeded random programs, every explorer variant.
+
+    Asserts, per program: equal SC result sets from the naive engine, the
+    legacy enumerator, and DPOR with sleep sets on and off; equal
+    ``complete`` flags; and equal DRF0 verdicts from all four checkers.
+    """
+    for seed in range(200):
+        program = random_program(seed)
+        cfg = ExplorationConfig(dedup=True)
+        new = explore(program, cfg)
+        old = legacy_explore(program, cfg)
+        assert new.results == old.results, f"seed {seed}: result sets differ"
+        assert new.complete == old.complete, f"seed {seed}: complete differs"
+        naive = new.results
+        assert sc_results_dpor(program) == naive, f"seed {seed}: dpor+sleep"
+        assert sc_results_dpor(program, NO_SLEEP) == naive, (
+            f"seed {seed}: dpor-sleep"
+        )
+        assert {e.result() for e in legacy_explore_dpor(program)} == naive, (
+            f"seed {seed}: legacy dpor"
+        )
+        verdicts = {
+            check_program(program).obeys,
+            legacy_check_program(program).obeys,
+            check_program_dpor(program).obeys,
+            check_program_dpor(program, config=NO_SLEEP).obeys,
+        }
+        assert len(verdicts) == 1, f"seed {seed}: DRF0 verdicts disagree"
+
+
+# ---------------------------------------------------------------------------
+# Cap-hit paths
+# ---------------------------------------------------------------------------
+
+
+def test_execution_cap_allow_incomplete_matches_legacy():
+    """Both sides truncate identically under a max_executions cap."""
+    program = iriw().program
+    full = sc_results(program)
+    cfg = ExplorationConfig(
+        dedup=False, max_executions=5, allow_incomplete=True
+    )
+    new = explore(program, cfg)
+    old = legacy_explore(program, cfg)
+    assert not new.complete and not old.complete
+    assert len(new.executions) == len(old.executions) == 5
+    # Same DFS order on both sides: identical truncated answer.
+    assert new.results == old.results
+    assert new.results <= full
+
+
+def test_max_ops_cap_allow_incomplete_matches_legacy():
+    """A depth cap with allow_incomplete returns partial, equal answers."""
+    program = by_name("SB").program
+    cfg = ExplorationConfig(dedup=False, max_ops=2, allow_incomplete=True)
+    new = explore(program, cfg)
+    old = legacy_explore(program, cfg)
+    assert not new.complete and not old.complete
+    assert new.results == old.results
+
+
+def test_max_ops_cap_raises_without_allow_incomplete():
+    program = by_name("SB").program
+    cfg = ExplorationConfig(max_ops=2)
+    with pytest.raises(ExplorationIncomplete):
+        explore(program, cfg)
+    with pytest.raises(ExplorationIncomplete):
+        legacy_explore(program, cfg)
+
+
+def test_dpor_cap_paths():
+    """DPOR honours the caps the same way in both sleep modes."""
+    spin = build_program(
+        [
+            ThreadBuilder().label("s").test_and_set("r", "l").branch_if(
+                Condition.NE, "r", 0, "s"
+            ),
+            ThreadBuilder().test_and_set("r2", "l"),
+        ],
+        initial_memory={"l": 1},
+        name="spinner",
+    )
+    for cfg in (
+        ExplorationConfig(max_ops=50),
+        ExplorationConfig(max_ops=50, sleep_sets=False),
+    ):
+        with pytest.raises(ExplorationIncomplete):
+            explore_dpor(spin, cfg)
+    partial = explore_dpor(
+        by_name("SB").program,
+        ExplorationConfig(max_ops=1, allow_incomplete=True),
+    )
+    assert partial == []
+
+
+# ---------------------------------------------------------------------------
+# Satellite regressions
+# ---------------------------------------------------------------------------
+
+
+def test_sc_results_does_not_mutate_caller_config():
+    cfg = ExplorationConfig(dedup=False, collect_executions=True)
+    sc_results(by_name("SB").program, cfg)
+    assert cfg.dedup is False and cfg.collect_executions is True
+
+
+def test_sc_executions_does_not_mutate_caller_config():
+    cfg = ExplorationConfig(dedup=True, collect_executions=False)
+    sc_executions(by_name("SB").program, cfg)
+    assert cfg.dedup is True and cfg.collect_executions is False
+
+
+def test_states_counted_without_dedup():
+    """``stats['states']`` counts expanded nodes even with dedup off."""
+    exploration = explore(by_name("SB").program, ExplorationConfig(dedup=False))
+    assert exploration.states_visited > 0
+    assert exploration.stats.states == exploration.states_visited
+    assert exploration.stats.transitions > 0
+    assert exploration.stats.max_depth == 4  # SB: 2 threads x 2 ops
+
+
+def test_dpor_stack_entries_carry_no_snapshots():
+    """The undo-log engine made per-node state copies dead; keep them gone."""
+    import dataclasses
+
+    fields = {f.name for f in dataclasses.fields(_StackEntry)}
+    assert "threads" not in fields
+    assert "memory" not in fields
+    assert fields == {"proc", "op", "backtrack", "done"}
+
+
+def test_sleep_sets_prune_and_report_cuts():
+    """Sleep sets cut real branches on IRIW and the stats record it."""
+    program = iriw().program
+    with_sleep = ExplorerStats()
+    without = ExplorerStats()
+    on = explore_dpor(program, stats=with_sleep)
+    off = explore_dpor(program, NO_SLEEP, stats=without)
+    assert {e.result() for e in on} == {e.result() for e in off}
+    assert with_sleep.sleep_cuts > 0
+    assert with_sleep.transitions <= without.transitions
+
+
+def test_streaming_consumption_stops_early():
+    """Abandoning the DPOR generator leaves valid stats (no exhaustion)."""
+    stats = ExplorerStats()
+    gen = iter_dpor_executions(iriw().program, stats=stats)
+    first = next(gen)
+    gen.close()
+    assert first.final_memory is not None
+    assert stats.transitions > 0
+    full = ExplorerStats()
+    list(iter_dpor_executions(iriw().program, stats=full))
+    assert stats.transitions < full.transitions
