@@ -13,15 +13,24 @@ Commands:
   x seeds) via the parallel verification engine (``--jobs N``);
 * ``fuzz`` -- random programs against every oracle (``--jobs N``);
 * ``delays NAME`` -- Shasha-Snir delay pairs for a straight-line test;
+* ``profile`` -- one workload under one or two policies with the full
+  observability stack: Perfetto trace out, metrics out, and the
+  per-processor per-cause stall-attribution table (Figure 3 as numbers);
 * ``catalog`` -- list available litmus tests and workloads.
 
-Workload names (``lock``, ``ttas``, ``prodcons``, ``barrier``, ``phases``)
-are accepted wherever a program is expected.
+Workload names (``lock``, ``ttas``, ``prodcons``, ``barrier``, ``phases``,
+``critical_section``) are accepted wherever a program is expected.
+
+Observability: ``simulate``, ``litmus``, ``drf0``, ``sweep``, and
+``profile`` accept ``--trace-out FILE`` (Chrome trace-event JSON, loadable
+in Perfetto) and ``--metrics-json FILE``; ``simulate`` and ``drf0`` accept
+``--json`` for machine-readable stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional
 
@@ -38,6 +47,7 @@ from repro.core.contract import appears_sc
 from repro.core.drf0 import check_program, check_program_sampled
 from repro.hw import POLICY_FACTORIES
 from repro.litmus import all_tests, by_name
+from repro.litmus.figures import figure3_program
 from repro.machine.program import Program
 from repro.sim.system import SystemConfig, run_on_hardware
 from repro.workloads import (
@@ -55,7 +65,17 @@ WORKLOAD_FACTORIES = {
     "barrier": lambda: barrier_workload(num_procs=3, phases=1),
     "phases": lambda: phase_parallel_workload(num_procs=3, chunk=2, phases=1),
     "workqueue": lambda: work_queue_workload(num_consumers=2, num_items=4),
+    # Figure 3's release/acquire handoff with cold invalidations and
+    # post-release work -- the stall-attribution showcase.
+    "critical_section": lambda: figure3_program(
+        num_extra_sharers=2, post_release_work=80
+    ),
 }
+
+
+def _canon_policy(name: str) -> str:
+    """Accept ``adve_hill`` for ``adve-hill`` etc. (underscore tolerance)."""
+    return name.replace("_", "-")
 
 
 def _resolve_program(name: str) -> Program:
@@ -79,6 +99,36 @@ def _config_from_args(args) -> SystemConfig:
     )
 
 
+def _make_tracer(args, force: bool = False):
+    """A recording tracer when ``--trace-out`` (or ``force``) asks for one."""
+    if force or getattr(args, "trace_out", None):
+        from repro.obs import RecordingTracer
+
+        return RecordingTracer()
+    return None
+
+
+def _write_obs_outputs(args, tracer=None, registry=None) -> None:
+    """Write ``--trace-out`` / ``--metrics-json`` files if requested.
+
+    Confirmations go to stderr so ``--json`` stdout stays machine-clean.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out and tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(trace_out, tracer)
+        print(
+            f"trace: {len(tracer)} events -> {trace_out}", file=sys.stderr
+        )
+    metrics_json = getattr(args, "metrics_json", None)
+    if metrics_json and registry is not None:
+        with open(metrics_json, "w", encoding="utf-8") as handle:
+            json.dump(registry.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics -> {metrics_json}", file=sys.stderr)
+
+
 def cmd_catalog(args) -> int:
     print("litmus tests:")
     for test in all_tests():
@@ -92,13 +142,32 @@ def cmd_litmus(args) -> int:
     tests = [by_name(n) for n in args.names] if args.names else all_tests()
     factory = POLICY_FACTORIES[args.policy]
     config = _config_from_args(args)
+    tracer = _make_tracer(args)
+    registry = None
+    if args.metrics_json:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     failures = 0
     print(f"{'test':<14}{'DRF0':<7}{'outcome':<12}{'appears-SC':<12}{'contract'}")
     for test in tests:
-        results = {
-            run_on_hardware(test.program, factory(), config.with_seed(s)).result
-            for s in range(args.seeds)
-        }
+        results = set()
+        for s in range(args.seeds):
+            if tracer is not None:
+                with tracer.scope(f"{test.name}/s{s}"):
+                    run = run_on_hardware(
+                        test.program, factory(), config.with_seed(s),
+                        tracer=tracer,
+                    )
+            else:
+                run = run_on_hardware(
+                    test.program, factory(), config.with_seed(s)
+                )
+            if registry is not None:
+                from repro.obs import run_metrics
+
+                run_metrics(run, registry, prefix="sim")
+            results.add(run.result)
         observed = test.outcome_observed(results)
         contract = appears_sc(test.program, results)
         respected = contract.appears_sc or not test.drf0
@@ -111,6 +180,7 @@ def cmd_litmus(args) -> int:
             f"{'yes' if contract.appears_sc else 'no':<12}"
             f"{'ok' if respected else 'VIOLATED'}"
         )
+    _write_obs_outputs(args, tracer, registry)
     return 1 if failures else 0
 
 
@@ -135,33 +205,62 @@ def _print_explorer_stats(stats, elapsed: Optional[float] = None) -> None:
 def cmd_drf0(args) -> int:
     import time
 
+    from repro.core.sc import ExplorationConfig
+
     program = _resolve_program(args.name)
+    tracer = _make_tracer(args)
     start = time.perf_counter()
     if args.sampled:
         report = check_program_sampled(program, seeds=range(args.seeds))
         mode = f"sampled over {report.executions_checked} executions"
     elif args.dpor:
         from repro.core.dpor import check_program_dpor
-        from repro.core.sc import ExplorationConfig
 
-        cfg = ExplorationConfig(sleep_sets=not args.no_sleep_sets)
+        cfg = ExplorationConfig(
+            sleep_sets=not args.no_sleep_sets, tracer=tracer
+        )
         report = check_program_dpor(program, config=cfg)
         mode = f"DPOR over {report.executions_checked} representative executions"
         if args.no_sleep_sets:
             mode += ", sleep sets off"
     else:
-        report = check_program(program)
+        report = check_program(
+            program, config=ExplorationConfig(max_ops=400, tracer=tracer)
+        )
         mode = f"exhaustive over {report.executions_checked} executions"
     elapsed = time.perf_counter() - start
-    print(f"{program.name}: {'obeys' if report.obeys else 'violates'} DRF0 ({mode})")
-    if args.stats:
-        _print_explorer_stats(report.stats, elapsed)
-    if report.race is not None:
-        print(f"  race: {report.race}")
-        if report.witness is not None and args.witness:
-            print("  witnessing idealized execution:")
-            for op in report.witness.ops:
-                print(f"    {op}")
+    registry = None
+    if args.metrics_json:
+        from repro.obs import explorer_metrics
+
+        registry = explorer_metrics(report.stats)
+    if args.json:
+        payload = {
+            "program": program.name,
+            "mode": mode,
+            "obeys": report.obeys,
+            "executions_checked": report.executions_checked,
+            "race": str(report.race) if report.race is not None else None,
+            "elapsed_seconds": elapsed,
+            "explorer_stats": (
+                report.stats.as_dict() if report.stats is not None else None
+            ),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{program.name}: "
+            f"{'obeys' if report.obeys else 'violates'} DRF0 ({mode})"
+        )
+        if args.stats:
+            _print_explorer_stats(report.stats, elapsed)
+        if report.race is not None:
+            print(f"  race: {report.race}")
+            if report.witness is not None and args.witness:
+                print("  witnessing idealized execution:")
+                for op in report.witness.ops:
+                    print(f"    {op}")
+    _write_obs_outputs(args, tracer, registry)
     return 0 if report.obeys else 1
 
 
@@ -189,18 +288,45 @@ def cmd_models(args) -> int:
 def cmd_simulate(args) -> int:
     program = _resolve_program(args.name)
     factory = POLICY_FACTORIES[args.policy]
-    run = run_on_hardware(program, factory(), _config_from_args(args))
-    from repro.report import access_table, summarize, timeline
-
-    print(summarize(run))
-    print(f"result    : {run.result}")
-    if args.trace:
-        print()
-        print(access_table(run))
-        print()
-        print(timeline(run))
+    tracer = _make_tracer(args, force=args.trace)
+    run = run_on_hardware(
+        program, factory(), _config_from_args(args), tracer=tracer
+    )
     verdict = appears_sc(program, [run.result])
-    print(f"appears SC: {verdict.appears_sc}")
+    registry = None
+    if args.metrics_json or args.json:
+        from repro.obs import run_metrics
+
+        registry = run_metrics(run)
+    if args.json:
+        payload = {
+            "program": program.name,
+            "policy": run.policy_name,
+            "cycles": run.cycles,
+            "messages": run.messages_sent,
+            "appears_sc": verdict.appears_sc,
+            "reads": [list(r) for r in run.result.reads],
+            "final_memory": dict(run.result.final_memory),
+            "proc_stats": [s.as_dict() for s in run.proc_stats],
+            "cache_stats": run.cache_stats,
+            "directory_stats": run.directory_stats,
+            "metrics": registry.as_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        from repro.report import summarize
+
+        print(summarize(run))
+        print(f"result    : {run.result}")
+        if args.trace:
+            from repro.obs import render_event_stream, render_stall_table
+
+            print()
+            print(render_stall_table(run))
+            print()
+            print(render_event_stream(tracer.events))
+        print(f"appears SC: {verdict.appears_sc}")
+    _write_obs_outputs(args, tracer, registry)
     return 0
 
 
@@ -218,7 +344,15 @@ def cmd_sweep(args) -> int:
         name for name in sorted(POLICY_FACTORIES) if name != "relaxed"
     ]
     factories = {name: POLICY_FACTORIES[name] for name in policy_names}
-    engine = VerificationEngine(jobs=args.jobs)
+    tracer = _make_tracer(args)
+    registry = None
+    if args.metrics_json:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    engine = VerificationEngine(
+        jobs=args.jobs, tracer=tracer, metrics=registry
+    )
     evidence = engine.definition2_sweep(
         programs,
         factories,
@@ -247,7 +381,61 @@ def cmd_sweep(args) -> int:
         print("\noracle work (SC-membership judgments + DRF0 verdicts):")
         _print_explorer_stats(engine.explorer_stats)
     print(f"\nDefinition-2 contract: {'holds' if holds else 'VIOLATED'}")
+    if registry is not None:
+        engine.metrics_snapshot(registry)
+    _write_obs_outputs(args, tracer, registry)
     return 0 if holds else 1
+
+
+def cmd_profile(args) -> int:
+    """One workload under one or two policies, fully instrumented.
+
+    The default comparison policy (``definition1``) against the default
+    profile policy (``adve-hill``) reproduces Figure 3 quantitatively:
+    Definition 1 charges the release-side stall to the *releasing*
+    processor (a ``gate:gp`` stall at its unset), while the Adve-Hill
+    Section-5.3 implementation lets the release proceed and moves the
+    wait to the *acquiring* processor (reserve-bit NACKs on its
+    test&set).
+    """
+    from repro.obs import (
+        MetricsRegistry,
+        render_stall_comparison,
+        run_metrics,
+    )
+
+    program = _resolve_program(args.workload)
+    config = _config_from_args(args)
+    policies = [args.policy]
+    if args.compare and args.compare not in policies:
+        policies.append(args.compare)
+    for name in policies:
+        if name not in POLICY_FACTORIES:
+            raise SystemExit(
+                f"unknown policy {name!r}; choose from "
+                f"{', '.join(sorted(POLICY_FACTORIES))}"
+            )
+    tracer = _make_tracer(args)
+    registry = MetricsRegistry() if args.metrics_json else None
+    runs = {}
+    for name in policies:
+        factory = POLICY_FACTORIES[name]
+        if tracer is not None:
+            with tracer.scope(name):
+                run = run_on_hardware(program, factory(), config, tracer=tracer)
+        else:
+            run = run_on_hardware(program, factory(), config)
+        if registry is not None:
+            run_metrics(run, registry, prefix=f"sim.{name}")
+        runs[name] = run
+    print(
+        f"profile: {program.name!r} under {', '.join(policies)} "
+        f"(topology {config.topology}, seed {config.seed})"
+    )
+    print()
+    print(render_stall_comparison(runs))
+    _write_obs_outputs(args, tracer, registry)
+    return 0
 
 
 def cmd_delays(args) -> int:
@@ -274,7 +462,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_hw_args(p, single_policy=True):
         if single_policy:
-            p.add_argument("--policy", choices=sorted(POLICY_FACTORIES),
+            p.add_argument("--policy", type=_canon_policy,
+                           choices=sorted(POLICY_FACTORIES),
                            default="adve-hill")
         p.add_argument("--topology", choices=["bus", "network"], default="network")
         p.add_argument("--no-caches", action="store_true")
@@ -283,12 +472,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--net-latency", type=int, default=3)
         p.add_argument("--capacity", type=int, default=None)
 
+    def add_obs_args(p):
+        p.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write a Chrome trace-event JSON file "
+                            "(load in Perfetto / chrome://tracing)")
+        p.add_argument("--metrics-json", metavar="FILE", default=None,
+                       help="write the metrics registry as JSON")
+
     p = sub.add_parser("catalog", help="list litmus tests and workloads")
     p.set_defaults(func=cmd_catalog)
 
     p = sub.add_parser("litmus", help="run litmus tests on simulated hardware")
     p.add_argument("names", nargs="*")
     add_hw_args(p)
+    add_obs_args(p)
     p.set_defaults(func=cmd_litmus)
 
     p = sub.add_parser("drf0", help="Definition-3 verdict for a program")
@@ -303,6 +500,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="print explorer counters (states/sec, undo depth, "
                         "sleep-set cuts, peak visited-set size)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable verdict on stdout")
+    add_obs_args(p)
     p.set_defaults(func=cmd_drf0)
 
     p = sub.add_parser("models", help="axiomatic admission table")
@@ -312,8 +512,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate", help="one hardware run with timing details")
     p.add_argument("name")
     p.add_argument("--trace", action="store_true",
-                   help="print the access table and ASCII timeline")
+                   help="print the stall-attribution table and the "
+                        "chronological event stream of the run")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable run report on stdout")
     add_hw_args(p)
+    add_obs_args(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser(
@@ -323,7 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("names", nargs="*",
                    help=f"programs to sweep (default: {DEFAULT_SWEEP_PROGRAMS})")
     add_hw_args(p, single_policy=False)
-    p.add_argument("--policy", action="append",
+    p.add_argument("--policy", action="append", type=_canon_policy,
                    choices=sorted(POLICY_FACTORIES), metavar="POLICY",
                    help="policy to include, repeatable (default: all except "
                         "the broken 'relaxed' strawman)")
@@ -339,7 +543,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="print aggregate explorer counters for the oracle "
                         "work the sweep dispatched")
+    add_obs_args(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "profile",
+        help="instrumented run(s) with stall attribution and trace export",
+    )
+    p.add_argument("--workload", required=True, metavar="NAME",
+                   help="workload or litmus test to profile")
+    p.add_argument("--compare", type=_canon_policy, default="definition1",
+                   metavar="POLICY",
+                   help="second policy for the side-by-side stall table "
+                        "(default: definition1; empty string disables)")
+    add_hw_args(p)
+    add_obs_args(p)
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("delays", help="Shasha-Snir delay pairs")
     p.add_argument("name")

@@ -143,6 +143,8 @@ def iter_dpor_executions(
     """
     cfg = config or ExplorationConfig()
     engine = EngineState(program)
+    tracer = cfg.tracer if (cfg.tracer is not None and cfg.tracer.enabled) else None
+    engine.tracer = tracer
     nprocs = program.num_procs
     stack: List[_StackEntry] = []
     stats = stats if stats is not None else ExplorerStats()
@@ -246,14 +248,27 @@ def iter_dpor_executions(
             }
             if initials & entry.backtrack:
                 continue  # an equivalent first mover is already scheduled
-            entry.backtrack.add(
-                event.proc if event.proc in initials else min(initials)
-            )
+            chosen = event.proc if event.proc in initials else min(initials)
+            entry.backtrack.add(chosen)
+            if tracer is not None:
+                tracer.instant(
+                    "dpor", "backtrack-insert", "explorer", engine.transitions,
+                    args={
+                        "at_depth": e.index,
+                        "proc": chosen,
+                        "race_loc": event.location,
+                    },
+                )
 
     def explore(sleep: Set[int]) -> Iterator[Execution]:
         enabled = set(engine.runnable())
         if not enabled:
             stats.executions += 1
+            if tracer is not None:
+                tracer.instant(
+                    "dpor", "execution", "explorer", engine.transitions,
+                    args={"n": stats.executions, "depth": engine.depth},
+                )
             yield engine.execution()
             return
         if engine.depth >= cfg.max_ops:
@@ -266,6 +281,11 @@ def iter_dpor_executions(
         awake = enabled - sleep if use_sleep else enabled
         if not awake:
             stats.sleep_cuts += 1
+            if tracer is not None:
+                tracer.instant(
+                    "dpor", "sleep-cut", "explorer", engine.transitions,
+                    args={"depth": engine.depth},
+                )
             return  # every enabled transition is covered by an earlier branch
         stats.states += 1
         entry = _StackEntry(

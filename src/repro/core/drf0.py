@@ -322,6 +322,8 @@ def _all_interleavings(
     tree is never expanded.
     """
     engine = EngineState(program)
+    if cfg.tracer is not None and cfg.tracer.enabled:
+        engine.tracer = cfg.tracer
     stats = stats if stats is not None else ExplorerStats()
     on_path: Set[object] = set()
     # Straight-line programs cannot revisit a configuration on a DFS path:

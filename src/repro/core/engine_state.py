@@ -227,6 +227,7 @@ class EngineState:
         "_log",
         "_interned",
         "_op_cache",
+        "tracer",
     )
 
     def __init__(self, program: Program) -> None:
@@ -275,6 +276,10 @@ class EngineState:
         #: and a dict probe beats a frozen-dataclass construction ~5x.
         #: Operations are immutable, so sharing is safe.
         self._op_cache: Dict[tuple, Operation] = {}
+        #: Optional observability tracer.  ``None`` (the default) keeps the
+        #: hot loop free of even an attribute call on a null object; the
+        #: explorers set it from their configuration when tracing is on.
+        self.tracer = None
 
     def _thread_key(self, proc: int) -> tuple:
         """Hashable state key for one thread: pc plus register file."""
@@ -418,6 +423,15 @@ class EngineState:
         self.transitions += 1
         if len(trace) > self.max_depth:
             self.max_depth = len(trace)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                "engine", "step", f"T{proc}", self.transitions,
+                args={
+                    "depth": len(trace),
+                    "op": f"{kind.value} {request.location}",
+                },
+            )
         return op
 
     def undo(self) -> None:
@@ -437,6 +451,12 @@ class EngineState:
             self._mem_values[self._loc_index[request.location]] = old_value
         self._mem_key = mem_key
         self._thread_keys[proc] = thread_key
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                "engine", "undo", f"T{proc}", self.transitions,
+                args={"depth": len(self.trace)},
+            )
 
     # ------------------------------------------------------------------
     # Leaves

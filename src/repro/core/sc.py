@@ -94,6 +94,10 @@ class ExplorationConfig:
         sleep_sets: Let the DPOR explorer layer sleep sets over its
             backtrack sets (prunes redundant branches; no effect on the
             naive enumerator).
+        tracer: Optional :class:`~repro.obs.tracer.Tracer` receiving
+            engine step/undo and explorer events (timestamps are the
+            engine's transition count).  ``None`` keeps the hot loop
+            untouched.
     """
 
     max_executions: Optional[int] = None
@@ -103,6 +107,7 @@ class ExplorationConfig:
     allow_incomplete: bool = False
     collect_executions: bool = True
     sleep_sets: bool = True
+    tracer: Optional[object] = None
 
 
 @dataclass
@@ -128,6 +133,8 @@ def explore(
     """Enumerate executions of ``program`` on the idealized architecture."""
     cfg = config or ExplorationConfig()
     engine = EngineState(program)
+    tracer = cfg.tracer if (cfg.tracer is not None and cfg.tracer.enabled) else None
+    engine.tracer = tracer
     executions: List[Execution] = []
     results: Set[Result] = set()
     visited: Set[object] = set()
@@ -142,6 +149,11 @@ def explore(
     def emit() -> bool:
         """Consume a finished execution; returns False when capped."""
         stats.executions += 1
+        if tracer is not None:
+            tracer.instant(
+                "explore", "execution", "explorer", engine.transitions,
+                args={"n": stats.executions, "depth": engine.depth},
+            )
         if collect:
             execution = engine.execution()
             executions.append(execution)

@@ -1,0 +1,66 @@
+"""Observability: structured tracing, a metrics registry, and exporters.
+
+Three pillars (see ``docs/observability.md``):
+
+* :mod:`repro.obs.tracer`  -- the tracer protocol, the zero-cost null
+  tracer, and the in-memory recording tracer;
+* :mod:`repro.obs.metrics` -- named counters/histograms/timers folded
+  into one stable dict, with views over the existing stats dataclasses;
+* :mod:`repro.obs.export` / :mod:`repro.obs.stall` -- Chrome
+  trace-event (Perfetto) JSON, JSONL event logs, and the per-processor
+  per-cause stall tables that turn Figure 3 into numbers.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    explorer_metrics,
+    run_metrics,
+)
+from repro.obs.stall import (
+    CAUSE_ORDER,
+    render_event_stream,
+    render_stall_comparison,
+    render_stall_table,
+    stall_breakdown,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "CAUSE_ORDER",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RecordingTracer",
+    "Timer",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "explorer_metrics",
+    "render_event_stream",
+    "render_stall_comparison",
+    "render_stall_table",
+    "run_metrics",
+    "stall_breakdown",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "write_chrome_trace",
+    "write_jsonl",
+]

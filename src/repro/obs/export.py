@@ -1,0 +1,224 @@
+"""Exporters: Chrome trace-event / Perfetto JSON and JSONL event logs.
+
+The Chrome trace-event format (the JSON Perfetto's legacy importer and
+``chrome://tracing`` both load) is a flat ``traceEvents`` array of phase
+records.  The mapping from :class:`~repro.obs.tracer.TraceEvent`:
+
+* every distinct ``track`` becomes one thread (``tid``) of a single
+  process, named through ``M``/``thread_name`` metadata records, ordered
+  by first appearance;
+* ``span`` events export as complete (``X``) events with ``dur``;
+* ``async_span`` events export as async ``b``/``e`` pairs with a unique
+  ``id``, so overlapping in-flight network messages render as stacked
+  slices instead of corrupting each other;
+* ``instant`` events export as thread-scoped ``i`` events and
+  ``counter`` events as ``C`` events.
+
+Timestamps pass through as microseconds -- the simulator's cycle clock
+reads as "us" in the UI, one cycle per microsecond.
+
+:func:`validate_chrome_trace` is a structural schema check used by the
+tests and the CI smoke job; ``python -m repro.obs.export --validate f``
+exposes it on the command line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from repro.obs.tracer import RecordingTracer, TraceEvent
+
+_EventSource = Union[RecordingTracer, Sequence[TraceEvent]]
+
+#: Fields every exported record must carry, per Chrome phase.
+_REQUIRED_FIELDS: Dict[str, tuple] = {
+    "X": ("name", "cat", "ts", "dur", "pid", "tid"),
+    "i": ("name", "cat", "ts", "pid", "tid", "s"),
+    "b": ("name", "cat", "ts", "pid", "tid", "id"),
+    "e": ("name", "cat", "ts", "pid", "tid", "id"),
+    "C": ("name", "ts", "pid", "args"),
+    "M": ("name", "pid", "args"),
+}
+
+_PID = 1
+
+
+def _events_of(source: _EventSource) -> Sequence[TraceEvent]:
+    if isinstance(source, RecordingTracer):
+        return source.events
+    return source
+
+
+def chrome_trace(source: _EventSource) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON object for ``source``'s events."""
+    events = _events_of(source)
+    tids: Dict[str, int] = {}
+    records: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID,
+            "args": {"name": "repro"},
+        }
+    ]
+
+    def tid_of(track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+            records.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        return tid
+
+    next_async_id = 1
+    for event in events:
+        tid = tid_of(event.track)
+        base: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.cat,
+            "pid": _PID,
+            "tid": tid,
+            "ts": event.ts,
+        }
+        if event.args:
+            base["args"] = dict(event.args)
+        if event.phase == "X":
+            base["ph"] = "X"
+            base["dur"] = event.dur
+            records.append(base)
+        elif event.phase == "b":
+            async_id = next_async_id
+            next_async_id += 1
+            begin = dict(base, ph="b", id=async_id)
+            records.append(begin)
+            records.append(
+                {
+                    "ph": "e",
+                    "name": event.name,
+                    "cat": event.cat,
+                    "pid": _PID,
+                    "tid": tid,
+                    "ts": event.ts + event.dur,
+                    "id": async_id,
+                }
+            )
+        elif event.phase == "i":
+            base["ph"] = "i"
+            base["s"] = "t"  # thread-scoped instant
+            records.append(base)
+        elif event.phase == "C":
+            records.append(
+                {
+                    "ph": "C",
+                    "name": event.name,
+                    "pid": _PID,
+                    "ts": event.ts,
+                    "args": dict(event.args or {}),
+                }
+            )
+        else:  # pragma: no cover - tracer only emits the phases above
+            raise ValueError(f"unknown trace phase {event.phase!r}")
+    return {"traceEvents": records, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, source: _EventSource) -> str:
+    """Serialize ``source`` as Chrome trace-event JSON; returns ``path``."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(source), handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def write_jsonl(path: str, source: _EventSource) -> str:
+    """One JSON object per event (raw event log); returns ``path``."""
+    with open(path, "w") as handle:
+        for event in _events_of(source):
+            handle.write(json.dumps(event.as_dict(), sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def validate_chrome_trace(obj: Any) -> List[str]:
+    """Structural schema check; returns problems (empty list == valid)."""
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array 'traceEvents'"]
+    open_async: Dict[Any, int] = {}
+    for index, record in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = record.get("ph")
+        required = _REQUIRED_FIELDS.get(phase)
+        if required is None:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        for fld in required:
+            if fld not in record:
+                problems.append(f"{where}: phase {phase!r} missing {fld!r}")
+        ts = record.get("ts")
+        if ts is not None and (not isinstance(ts, (int, float)) or ts < 0):
+            problems.append(f"{where}: bad ts {ts!r}")
+        if phase == "X":
+            dur = record.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        if phase == "b":
+            open_async[record.get("id")] = index
+        elif phase == "e":
+            if record.get("id") not in open_async:
+                problems.append(f"{where}: 'e' with no matching 'b'")
+            else:
+                del open_async[record["id"]]
+    for async_id, index in open_async.items():
+        problems.append(f"traceEvents[{index}]: unclosed async id {async_id!r}")
+    return problems
+
+
+def validate_chrome_trace_file(path: str) -> List[str]:
+    """Load ``path`` and validate it; JSON errors come back as problems."""
+    try:
+        with open(path) as handle:
+            obj = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"]
+    return validate_chrome_trace(obj)
+
+
+def main(argv: Iterable[str] = None) -> int:
+    """``python -m repro.obs.export --validate FILE [FILE ...]``"""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.export",
+        description="Validate Chrome trace-event JSON files",
+    )
+    parser.add_argument("--validate", nargs="+", metavar="FILE", required=True)
+    args = parser.parse_args(argv if argv is None else list(argv))
+    status = 0
+    for path in args.validate:
+        problems = validate_chrome_trace_file(path)
+        if problems:
+            status = 1
+            print(f"{path}: INVALID")
+            for problem in problems[:20]:
+                print(f"  {problem}")
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    raise SystemExit(main())

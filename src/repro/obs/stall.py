@@ -1,0 +1,199 @@
+"""Per-processor, per-cause stall reports: Figure 3 as numbers.
+
+The simulator's front end attributes every stalled cycle to a cause
+(see ``ProcessorStats.stall_by_cause`` and the taxonomy below).  This
+module renders those buckets: a per-run table, a policy-comparison table
+(the quantitative form of the paper's Figure-3 release/acquire handoff),
+and a plain listing of a recorded event stream.
+
+Cause taxonomy
+--------------
+
+Generation-gate stalls (the policy refused to issue the next access yet):
+
+* ``gate:sync-commit`` -- waiting for prior *synchronization* accesses to
+  commit (the Adve-Hill Section-5.1 condition 2 gate);
+* ``gate:sync-gp``     -- waiting for prior synchronization accesses to
+  globally perform (Definition 1 before a data access);
+* ``gate:gp``          -- waiting for prior accesses (not all sync) to
+  globally perform (Definition 1 / SC before a sync access);
+* ``gate:fence``       -- an explicit fence instruction.
+
+Block stalls (the issued access itself has not reached its block level).
+The interval up to the access's commit is attributed to how the memory
+system serviced it; any remainder up to global-perform is a completion
+wait:
+
+* ``block:reserve-nack``   -- the access was negative-acked off a remote
+  reserved line at least once (Section 5.3, condition 5);
+* ``block:coherence-miss`` -- the access missed in the cache (or paid a
+  memory-module round trip on the cacheless substrate);
+* ``block:hit``            -- hit latency only;
+* ``block:counter-wait``   -- committed, waiting for invalidation acks /
+  the counter's decrement conditions (globally-performed wait);
+* ``block:buffer-drain``   -- committed into a write buffer, waiting for
+  the drain to reach memory.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import TraceEvent
+    from repro.sim.system import MachineRun
+
+GATE_SYNC_COMMIT = "gate:sync-commit"
+GATE_SYNC_GP = "gate:sync-gp"
+GATE_GP = "gate:gp"
+GATE_FENCE = "gate:fence"
+BLOCK_RESERVE_NACK = "block:reserve-nack"
+BLOCK_COHERENCE_MISS = "block:coherence-miss"
+BLOCK_HIT = "block:hit"
+BLOCK_COUNTER_WAIT = "block:counter-wait"
+BLOCK_BUFFER_DRAIN = "block:buffer-drain"
+
+#: Render order for cause columns/rows.
+CAUSE_ORDER: List[str] = [
+    GATE_SYNC_COMMIT,
+    GATE_SYNC_GP,
+    GATE_GP,
+    GATE_FENCE,
+    BLOCK_RESERVE_NACK,
+    BLOCK_COHERENCE_MISS,
+    BLOCK_HIT,
+    BLOCK_COUNTER_WAIT,
+    BLOCK_BUFFER_DRAIN,
+]
+
+
+def _cause_rank(cause: str) -> int:
+    try:
+        return CAUSE_ORDER.index(cause)
+    except ValueError:  # pragma: no cover - future causes sort last
+        return len(CAUSE_ORDER)
+
+
+def stall_breakdown(run: "MachineRun") -> List[Dict[str, int]]:
+    """Per-processor ``{cause: cycles}`` dicts (copies, render-ordered)."""
+    return [
+        {
+            cause: stats.stall_by_cause[cause]
+            for cause in sorted(stats.stall_by_cause, key=_cause_rank)
+        }
+        for stats in run.proc_stats
+    ]
+
+
+def render_stall_table(run: "MachineRun") -> str:
+    """One run's stall attribution as a fixed-width per-processor table."""
+    breakdown = stall_breakdown(run)
+    causes = sorted({c for per in breakdown for c in per}, key=_cause_rank)
+    header = f"{'proc':<6}" + "".join(f"{c:>22}" for c in causes)
+    header += f"{'total':>10}"
+    lines = [
+        f"stall attribution: {run.program.name!r} on {run.policy_name} "
+        f"({run.cycles} cycles)",
+        header,
+        "-" * len(header),
+    ]
+    for proc, per in enumerate(breakdown):
+        total = run.proc_stats[proc].total_stall_cycles
+        lines.append(
+            f"P{proc:<5}"
+            + "".join(f"{per.get(c, 0):>22}" for c in causes)
+            + f"{total:>10}"
+        )
+    return "\n".join(lines)
+
+
+def render_stall_comparison(runs: Mapping[str, "MachineRun"]) -> str:
+    """Per-processor, per-cause stalls side by side across policies.
+
+    ``runs`` maps a column label (usually the policy name) to its run --
+    all runs of the same program.  This is the Figure-3 table: under
+    ``definition1`` the releasing processor carries a ``gate:gp`` stall
+    that vanishes under ``adve-hill``, while the acquiring processor's
+    sync wait remains in both columns.
+    """
+    labels = list(runs)
+    if not labels:
+        return "(no runs)"
+    first = runs[labels[0]]
+    nprocs = len(first.proc_stats)
+    rows: List[tuple] = []
+    for proc in range(nprocs):
+        causes = sorted(
+            {
+                cause
+                for run in runs.values()
+                for cause in run.proc_stats[proc].stall_by_cause
+            },
+            key=_cause_rank,
+        )
+        for cause in causes:
+            rows.append(
+                (
+                    proc,
+                    cause,
+                    [
+                        run.proc_stats[proc].stall_by_cause.get(cause, 0)
+                        for run in runs.values()
+                    ],
+                )
+            )
+        rows.append(
+            (
+                proc,
+                "TOTAL",
+                [run.proc_stats[proc].total_stall_cycles for run in runs.values()],
+            )
+        )
+    header = f"{'proc':<6}{'cause':<22}" + "".join(
+        f"{label:>22}" for label in labels
+    )
+    lines = [
+        f"stall comparison: {first.program.name!r} "
+        f"(stall cycles per processor and cause)",
+        header,
+        "-" * len(header),
+    ]
+    for proc, cause, values in rows:
+        lines.append(
+            f"P{proc:<5}{cause:<22}"
+            + "".join(f"{value:>22}" for value in values)
+        )
+    lines.append("")
+    lines.append(
+        "finish:  "
+        + "  ".join(
+            f"{label}={runs[label].cycles}cy" for label in labels
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_event_stream(
+    events: Sequence["TraceEvent"], limit: Optional[int] = None
+) -> str:
+    """A recorded event stream as chronological, human-readable lines."""
+    ordered = sorted(events, key=lambda e: (e.ts, e.track, e.name))
+    if limit is not None:
+        shown, dropped = ordered[:limit], max(0, len(ordered) - limit)
+    else:
+        shown, dropped = ordered, 0
+    lines = []
+    for event in shown:
+        span = f" +{event.dur}" if event.phase in ("X", "b") else ""
+        args = ""
+        if event.args:
+            args = "  " + " ".join(
+                f"{k}={v}" for k, v in sorted(event.args.items())
+            )
+        lines.append(
+            f"{event.ts:>8}{span:<8} {event.track:<10} "
+            f"{event.cat}:{event.name}{args}"
+        )
+    if dropped:
+        lines.append(f"... {dropped} more events")
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Structured event tracing: the null tracer and the recording tracer.
+
+The observability layer's contract is *zero cost when off*: every
+instrumented component holds a tracer object and asks ``tracer.enabled``
+(one attribute load) before building any event arguments.  The module
+singleton :data:`NULL_TRACER` answers ``False`` forever, so the
+uninstrumented path never allocates, formats, or appends anything.
+
+:class:`RecordingTracer` collects :class:`TraceEvent` records in memory.
+Timestamps are caller-defined integers on a per-domain clock:
+
+* the hardware simulator stamps events in **cycles** (exported as
+  microseconds, so one Perfetto "us" is one simulated cycle);
+* the idealized-architecture explorers stamp events with their
+  **transition count** (the only monotone clock an in-place DFS has);
+* the verification engine stamps wall-clock microseconds.
+
+Events carry a ``track`` name -- a processor (``P0``), a component
+(``net``, ``dir``), or an explorer -- which the exporters map to Chrome
+trace-event threads.  :meth:`RecordingTracer.scope` pushes a prefix onto
+every track name, so multi-run commands (``litmus`` across tests and
+seeds) keep their runs on separate, labelled tracks.
+
+Event kinds follow the Chrome trace-event phases they export to:
+
+* ``span``       -- a complete duration event (phase ``X``);
+* ``async_span`` -- a duration that may overlap others on its track,
+  e.g. in-flight network messages (exported as async ``b``/``e`` pairs);
+* ``instant``    -- a point event (phase ``i``);
+* ``counter``    -- a sampled value (phase ``C``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class TraceEvent:
+    """One recorded event.  ``phase`` is the Chrome phase it exports to."""
+
+    __slots__ = ("phase", "cat", "name", "track", "ts", "dur", "args")
+
+    def __init__(
+        self,
+        phase: str,
+        cat: str,
+        name: str,
+        track: str,
+        ts: int,
+        dur: int = 0,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.phase = phase
+        self.cat = cat
+        self.name = name
+        self.track = track
+        self.ts = ts
+        self.dur = dur
+        self.args = args
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (the JSONL exporter's record)."""
+        record: Dict[str, Any] = {
+            "phase": self.phase,
+            "cat": self.cat,
+            "name": self.name,
+            "track": self.track,
+            "ts": self.ts,
+        }
+        if self.phase in ("X", "b"):
+            record["dur"] = self.dur
+        if self.args:
+            record["args"] = self.args
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceEvent({self.phase!r}, {self.cat!r}, {self.name!r}, "
+            f"track={self.track!r}, ts={self.ts}, dur={self.dur})"
+        )
+
+
+class Tracer:
+    """The tracer protocol; this base class is the do-nothing implementation.
+
+    Instrumentation sites hold a ``Tracer`` and guard event construction
+    with ``if tracer.enabled:`` -- the class attribute makes the check a
+    single load, and the no-op methods make unguarded calls safe too.
+    """
+
+    enabled: bool = False
+
+    def span(self, cat: str, name: str, track: str, start: int, end: int,
+             args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a complete duration event over ``[start, end]``."""
+
+    def async_span(self, cat: str, name: str, track: str, start: int,
+                   end: int, args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a duration event that may overlap others on its track."""
+
+    def instant(self, cat: str, name: str, track: str, ts: int,
+                args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a point event."""
+
+    def counter(self, cat: str, name: str, track: str, ts: int,
+                value: float) -> None:
+        """Record a sampled counter value."""
+
+    @contextmanager
+    def scope(self, prefix: str) -> Iterator["Tracer"]:
+        """Prefix every track name recorded inside the ``with`` block."""
+        yield self
+
+
+class NullTracer(Tracer):
+    """Explicitly-named alias of the do-nothing tracer."""
+
+
+#: The shared do-nothing tracer; components default to it so tracing is
+#: opt-in per run and costs one ``enabled`` check when off.
+NULL_TRACER = NullTracer()
+
+
+class RecordingTracer(Tracer):
+    """Collects events in memory for export (Chrome trace, JSONL, reports)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._prefix = ""
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def _track(self, track: str) -> str:
+        return self._prefix + track if self._prefix else track
+
+    def span(self, cat, name, track, start, end, args=None) -> None:
+        self.events.append(
+            TraceEvent("X", cat, name, self._track(track), start,
+                       max(0, end - start), args)
+        )
+
+    def async_span(self, cat, name, track, start, end, args=None) -> None:
+        self.events.append(
+            TraceEvent("b", cat, name, self._track(track), start,
+                       max(0, end - start), args)
+        )
+
+    def instant(self, cat, name, track, ts, args=None) -> None:
+        self.events.append(
+            TraceEvent("i", cat, name, self._track(track), ts, 0, args)
+        )
+
+    def counter(self, cat, name, track, ts, value) -> None:
+        self.events.append(
+            TraceEvent("C", cat, name, self._track(track), ts, 0,
+                       {"value": value})
+        )
+
+    @contextmanager
+    def scope(self, prefix: str) -> Iterator["RecordingTracer"]:
+        """Prefix track names with ``prefix + "/"`` inside the block."""
+        saved = self._prefix
+        self._prefix = f"{saved}{prefix}/"
+        try:
+            yield self
+        finally:
+            self._prefix = saved
+
+    def tracks(self) -> List[str]:
+        """Distinct track names in first-recorded order."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.track, None)
+        return list(seen)

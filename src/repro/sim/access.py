@@ -60,6 +60,15 @@ class AccessRecord:
         self.commit_time: Optional[int] = None
         self.gp_time: Optional[int] = None
 
+        #: Attribution breadcrumbs for the observability layer (set by the
+        #: memory system as the access is serviced): whether the access
+        #: left the processor's port (cache miss / memory round trip), how
+        #: many times it was negative-acked off a reserved line, and
+        #: whether it committed into a write buffer.
+        self.missed: bool = False
+        self.nacks: int = 0
+        self.buffered: bool = False
+
         self._commit_callbacks: List[Callable[["AccessRecord"], None]] = []
         self._gp_callbacks: List[Callable[["AccessRecord"], None]] = []
 

@@ -198,6 +198,7 @@ class CacheController:
         loc = access.location
         self.misses += 1
         self.counter += 1
+        access.missed = True
         self._transactions[loc] = _Transaction(access, wants_exclusive)
         self.network.send(
             Message(
@@ -358,6 +359,11 @@ class CacheController:
         if access.is_sync and self.use_reserve_bits and self.counter > 0:
             line.reserved = True
             self.reserved_lines.add(access.location)
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    "cache", "reserve", self.node_id, self.sim.now,
+                    args={"loc": access.location, "counter": self.counter},
+                )
         access.mark_committed(self.sim.now, value_read)
 
     # ------------------------------------------------------------------
@@ -396,6 +402,12 @@ class CacheController:
             raise SimulationError(f"{self.node_id}: stray NACK for {loc}")
         self._decrement_counter()
         access = txn.access
+        access.nacks += 1
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant(
+                "cache", "nack", self.node_id, self.sim.now,
+                args={"loc": loc, "retries": access.nacks},
+            )
         self.sim.after(self.nack_retry_delay, lambda: self._retry(access))
 
     def _retry(self, access: AccessRecord) -> None:

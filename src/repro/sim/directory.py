@@ -114,6 +114,11 @@ class Directory:
 
     def _process(self, message: Message) -> None:
         self.requests_served += 1
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant(
+                "dir", message.kind.value, "dir", self.sim.now,
+                args={"src": message.src, "loc": message.location},
+            )
         if message.kind is MsgKind.GETS:
             self._process_gets(message)
         elif message.kind is MsgKind.WB_EVICT:

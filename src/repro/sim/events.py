@@ -12,19 +12,28 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Tuple
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 
 class SimulationError(RuntimeError):
     """Raised for kernel-level failures (negative delays, runaway runs)."""
 
 
 class Simulator:
-    """Event queue with a monotonically advancing clock."""
+    """Event queue with a monotonically advancing clock.
 
-    def __init__(self) -> None:
+    The simulator also carries the run's :class:`~repro.obs.tracer.Tracer`
+    so every hardware component reaches it through its ``sim`` reference;
+    the default is the zero-cost null tracer, and instrumentation sites
+    gate on ``tracer.enabled`` before building any event.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self._now = 0
         self._seq = 0
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._events_executed = 0
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def now(self) -> int:

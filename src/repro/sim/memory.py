@@ -125,6 +125,7 @@ class CachelessPort:
             # Commit point: a buffered write's value can be dispatched to the
             # owner's own later reads (store-to-load forwarding).
             access.mark_committed(self.sim.now)
+            access.buffered = True
             self._buffer.append(access)
             self._schedule_drain()
             return
@@ -153,6 +154,7 @@ class CachelessPort:
         return None
 
     def _send_request(self, access: AccessRecord, kind: MsgKind) -> None:
+        access.missed = True
         self._inflight[access.uid] = access
         self.network.send(
             Message(

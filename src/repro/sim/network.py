@@ -73,6 +73,15 @@ class Bus(Interconnect):
         done = start + self.latency
         self._free_at = done
         self.messages_sent += 1
+        if self.sim.tracer.enabled:
+            self.sim.tracer.async_span(
+                "net", message.kind.value, "net", self.sim.now, done,
+                args={
+                    "src": message.src,
+                    "dst": message.dst,
+                    "loc": message.location,
+                },
+            )
         self.sim.at(done, lambda: self._deliver(message))
 
 
@@ -112,4 +121,13 @@ class GeneralNetwork(Interconnect):
             arrival = max(arrival, self._last_arrival.get(pair, 0) + 1)
             self._last_arrival[pair] = arrival
         self.messages_sent += 1
+        if self.sim.tracer.enabled:
+            self.sim.tracer.async_span(
+                "net", message.kind.value, "net", self.sim.now, arrival,
+                args={
+                    "src": message.src,
+                    "dst": message.dst,
+                    "loc": message.location,
+                },
+            )
         self.sim.at(arrival, lambda: self._deliver(message))

@@ -25,7 +25,7 @@ paper's Figure-3 analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.types import ProcId, Value
 from repro.machine.interpreter import (
@@ -38,24 +38,74 @@ from repro.machine.interpreter import (
     run_to_memory_op,
 )
 from repro.machine.program import ThreadCode
-from repro.sim.access import AccessRecord, BlockLevel
+from repro.obs.stall import (
+    BLOCK_BUFFER_DRAIN,
+    BLOCK_COHERENCE_MISS,
+    BLOCK_COUNTER_WAIT,
+    BLOCK_HIT,
+    BLOCK_RESERVE_NACK,
+    GATE_FENCE,
+    GATE_GP,
+    GATE_SYNC_COMMIT,
+    GATE_SYNC_GP,
+)
+from repro.sim.access import AccessRecord, BlockLevel, GateCondition
 from repro.sim.events import Simulator
+
+
+def _gate_cause(gates: List["GateCondition"]) -> str:
+    """Classify a generation-gate stall from the unsatisfied conditions."""
+    if all(g.access.is_sync for g in gates):
+        if all(g.level is BlockLevel.COMMIT for g in gates):
+            return GATE_SYNC_COMMIT
+        return GATE_SYNC_GP
+    return GATE_GP
 
 
 @dataclass
 class ProcessorStats:
-    """Per-processor timing breakdown."""
+    """Per-processor timing breakdown.
+
+    ``stall_by_cause`` refines the two coarse stall buckets with the
+    observability layer's cause taxonomy (see :mod:`repro.obs.stall`):
+    every stalled cycle lands in exactly one cause, so the invariant
+    ``sum(stall_by_cause.values()) == gate_stall_cycles +
+    block_stall_cycles`` holds on every run (asserted in the tests).
+    """
 
     local_instructions: int = 0
     accesses_generated: int = 0
     gate_stall_cycles: int = 0
     block_stall_cycles: int = 0
     halt_time: Optional[int] = None
+    stall_by_cause: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_stall_cycles(self) -> int:
         """Cycles spent not making architectural progress."""
         return self.gate_stall_cycles + self.block_stall_cycles
+
+    def add_stall(self, cause: str, cycles: int) -> None:
+        """Attribute ``cycles`` of stall to ``cause`` (no-op for zero)."""
+        if cycles:
+            self.stall_by_cause[cause] = (
+                self.stall_by_cause.get(cause, 0) + cycles
+            )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Stable plain-dict form for JSON reports."""
+        return {
+            "local_instructions": self.local_instructions,
+            "accesses_generated": self.accesses_generated,
+            "gate_stall_cycles": self.gate_stall_cycles,
+            "block_stall_cycles": self.block_stall_cycles,
+            "total_stall_cycles": self.total_stall_cycles,
+            "halt_time": self.halt_time,
+            "stall_by_cause": {
+                cause: self.stall_by_cause[cause]
+                for cause in sorted(self.stall_by_cause)
+            },
+        }
 
 
 class Processor:
@@ -81,6 +131,8 @@ class Processor:
         self._on_halt = on_halt
         self.local_cycle = local_cycle
 
+        self.tracer = sim.tracer
+        self._track = f"P{proc_id}"
         self.state = ThreadState()
         self.halted = False
         self.accesses: List[AccessRecord] = []
@@ -149,7 +201,14 @@ class Processor:
         def one_done(_a: AccessRecord) -> None:
             remaining["count"] -= 1
             if remaining["count"] == 0:
-                self.stats.gate_stall_cycles += self.sim.now - fence_start
+                stalled = self.sim.now - fence_start
+                self.stats.gate_stall_cycles += stalled
+                self.stats.add_stall(GATE_FENCE, stalled)
+                if self.tracer.enabled and stalled:
+                    self.tracer.span(
+                        "stall", GATE_FENCE, self._track,
+                        fence_start, self.sim.now,
+                    )
                 self._finish_delay()
 
         for access in pending:
@@ -158,6 +217,8 @@ class Processor:
     def _halt(self) -> None:
         self.halted = True
         self.stats.halt_time = self.sim.now
+        if self.tracer.enabled:
+            self.tracer.instant("proc", "halt", self._track, self.sim.now)
         self._on_halt(self)
 
     def _at_memory_request(self, request: MemRequest) -> None:
@@ -181,12 +242,23 @@ class Processor:
             self._generate(access)
             return
         gate_start = self.sim.now
+        cause = _gate_cause(gates)
         remaining = {"count": len(gates)}
 
         def one_done() -> None:
             remaining["count"] -= 1
             if remaining["count"] == 0:
-                self.stats.gate_stall_cycles += self.sim.now - gate_start
+                stalled = self.sim.now - gate_start
+                self.stats.gate_stall_cycles += stalled
+                self.stats.add_stall(cause, stalled)
+                if self.tracer.enabled and stalled:
+                    self.tracer.span(
+                        "stall", cause, self._track, gate_start, self.sim.now,
+                        args={
+                            "kind": access.kind.value,
+                            "loc": access.location,
+                        },
+                    )
                 self._generate(access)
 
         for gate in gates:
@@ -208,13 +280,54 @@ class Processor:
         block_start = self.sim.now
 
         def unblock(_a: AccessRecord) -> None:
-            self.stats.block_stall_cycles += self.sim.now - block_start
+            end = self.sim.now
+            self.stats.block_stall_cycles += end - block_start
+            self._attribute_block(access, block_start, end)
             self._finish_instruction(access)
 
         if level is BlockLevel.COMMIT:
             access.on_commit(unblock)
         else:
             access.on_globally_performed(unblock)
+
+    def _attribute_block(
+        self, access: AccessRecord, block_start: int, end: int
+    ) -> None:
+        """Split a block stall at the access's commit point and attribute.
+
+        The service interval (up to commit) is attributed to how the
+        memory system handled the access -- a reserve-bit NACK beats a
+        plain miss beats the hit latency; the completion interval (commit
+        to globally-performed, only present when the policy blocks to GP)
+        is the write-buffer drain or the invalidation-ack counter wait.
+        """
+        if end <= block_start:
+            return
+        commit = access.commit_time
+        split = end if commit is None else min(max(commit, block_start), end)
+        pre = split - block_start
+        if pre:
+            if access.nacks:
+                cause = BLOCK_RESERVE_NACK
+            elif access.missed:
+                cause = BLOCK_COHERENCE_MISS
+            else:
+                cause = BLOCK_HIT
+            self.stats.add_stall(cause, pre)
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "stall", cause, self._track, block_start, split,
+                    args={"kind": access.kind.value, "loc": access.location},
+                )
+        post = end - split
+        if post:
+            cause = BLOCK_BUFFER_DRAIN if access.buffered else BLOCK_COUNTER_WAIT
+            self.stats.add_stall(cause, post)
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "stall", cause, self._track, split, end,
+                    args={"kind": access.kind.value, "loc": access.location},
+                )
 
     def _finish_instruction(self, access: AccessRecord) -> None:
         request = self._current_request

@@ -178,6 +178,7 @@ class SnoopyCache:
 
     def _miss(self, access: AccessRecord, exclusive: bool) -> None:
         self.misses += 1
+        access.missed = True
         self._in_flight[access.location] = access
         self.bus.request(self, access, exclusive)
 

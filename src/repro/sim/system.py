@@ -21,6 +21,7 @@ from repro.machine.program import Program
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a cycle through repro.hw
     from repro.hw.base import MemoryPolicy
+    from repro.obs.tracer import Tracer
 from repro.sim.cache import CacheController
 from repro.sim.directory import Directory
 from repro.sim.events import SimulationError, Simulator
@@ -149,15 +150,21 @@ def run_on_hardware(
     program: Program,
     policy: "MemoryPolicy",
     config: Optional[SystemConfig] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> MachineRun:
-    """Run ``program`` on the configured hardware under ``policy``."""
+    """Run ``program`` on the configured hardware under ``policy``.
+
+    ``tracer`` (a :class:`~repro.obs.tracer.Tracer`) receives cycle-level
+    events from every component of the run; the default null tracer makes
+    instrumentation free.
+    """
     config = config or SystemConfig()
     if policy.requires_caches and not config.caches:
         raise ValueError(
             f"policy {policy.name!r} needs the cache-coherent substrate"
         )
 
-    sim = Simulator()
+    sim = Simulator(tracer)
     directory = None
     memory_module: Optional[MemoryModule] = None
     caches: List = []
@@ -332,6 +339,31 @@ def _package_run(
         for index, access in enumerate(committed)
     )
     execution = Execution(program, ops, final_memory_from_dict(final_memory))
+
+    if sim.tracer.enabled:
+        for processor in processors:
+            track = f"P{processor.proc_id}"
+            for access in processor.accesses:
+                end = access.gp_time
+                if end is None:
+                    end = access.commit_time
+                if access.generate_time is None or end is None:
+                    continue
+                sim.tracer.span(
+                    "access",
+                    f"{access.kind.value} {access.location}",
+                    track,
+                    access.generate_time,
+                    end,
+                    args={
+                        "uid": access.uid,
+                        "commit": access.commit_time,
+                        "gp": access.gp_time,
+                        "missed": access.missed,
+                        "nacks": access.nacks,
+                        "buffered": access.buffered,
+                    },
+                )
 
     return MachineRun(
         program=program,

@@ -41,6 +41,7 @@ class BufferedCachePort:
     def submit(self, access: AccessRecord) -> None:
         """Accept a generated access; buffer data writes, bypass the rest."""
         if access.kind is OpKind.DATA_WRITE:
+            access.buffered = True
             self._buffer.append(access)
             self._schedule_drain()
             return

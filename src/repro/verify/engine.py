@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
@@ -192,19 +193,44 @@ def _execute_task(task: tuple):
     raise ValueError(f"unknown task kind {kind!r}")
 
 
+def _now_us() -> int:
+    """Wall-clock microseconds (the engine's trace clock)."""
+    return time.perf_counter_ns() // 1_000
+
+
 class _Session:
     """One engine call's dispatch surface: a pool, or the calling process."""
 
-    def __init__(self, pool) -> None:
+    def __init__(self, pool, engine: Optional["VerificationEngine"] = None) -> None:
         self._pool = pool
+        self._engine = engine
 
     def map(self, tasks: Sequence[tuple]) -> list:
         """Evaluate tasks, returning values in task order."""
         if not tasks:
             return []
+        engine = self._engine
+        observed = engine is not None and (
+            engine.tracer.enabled or engine.metrics is not None
+        )
+        start = _now_us() if observed else 0
         if self._pool is None:
-            return [_execute_task(task) for task in tasks]
-        return self._pool.map(_execute_task, tasks, chunksize=1)
+            values = [_execute_task(task) for task in tasks]
+        else:
+            values = self._pool.map(_execute_task, tasks, chunksize=1)
+        if observed:
+            counts: Dict[str, int] = {}
+            for task in tasks:
+                counts[task[0]] = counts.get(task[0], 0) + 1
+            if engine.metrics is not None:
+                for kind, n in counts.items():
+                    engine.metrics.counter(f"engine.tasks.{kind}").inc(n)
+            if engine.tracer.enabled:
+                engine.tracer.span(
+                    "engine", "map", "engine", start, _now_us(),
+                    args={"tasks": len(tasks), **counts},
+                )
+        return values
 
 
 class VerificationEngine:
@@ -220,6 +246,13 @@ class VerificationEngine:
             while still load-balancing).
         sc_cache / drf0_cache: Verdict caches; pass shared instances to
             memoize across engine calls (both benchmarks do).
+        tracer: Optional :class:`~repro.obs.tracer.Tracer` receiving
+            parent-side dispatch spans (timestamps are wall-clock
+            microseconds -- workers are separate processes and are not
+            traced).
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
+            accumulating task counts; :meth:`metrics_snapshot` adds cache
+            and explorer counters on demand.
     """
 
     def __init__(
@@ -228,6 +261,8 @@ class VerificationEngine:
         seed_chunk: Optional[int] = None,
         sc_cache: Optional[SCVerdictCache] = None,
         drf0_cache: Optional[DRF0VerdictCache] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if not jobs:
             jobs = os.cpu_count() or 1
@@ -237,6 +272,12 @@ class VerificationEngine:
         self.drf0_cache = (
             drf0_cache if drf0_cache is not None else DRF0VerdictCache()
         )
+        if tracer is None:
+            from repro.obs.tracer import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
+        self.metrics = metrics
         #: Aggregate exploration counters from every oracle task this
         #: engine dispatched (guided SC-membership searches and exhaustive
         #: DRF0 verdicts).  Cache hits add nothing -- the counters measure
@@ -258,10 +299,11 @@ class VerificationEngine:
         previous = _TASK_CONTEXT
         _TASK_CONTEXT = context
         pool = None
+        session_start = _now_us() if self.tracer.enabled else 0
         try:
             if self.jobs > 1 and self.can_fork:
                 pool = multiprocessing.get_context("fork").Pool(self.jobs)
-            yield _Session(pool)
+            yield _Session(pool, self)
         except BaseException:
             if pool is not None:
                 pool.terminate()  # don't drain queued work after a failure
@@ -269,10 +311,16 @@ class VerificationEngine:
                 pool = None
             raise
         finally:
+            pooled = pool is not None
             if pool is not None:
                 pool.close()
                 pool.join()
             _TASK_CONTEXT = previous
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "engine", "session", "engine", session_start, _now_us(),
+                    args={"jobs": self.jobs, "pool": pooled},
+                )
 
     def _seed_chunks(self, seeds: Sequence[int]) -> List[Tuple[int, ...]]:
         if not seeds:
@@ -485,3 +533,32 @@ class VerificationEngine:
                 [("fuzz", seed) for seed in seeds]
             )
         return merge_outcomes(outcomes)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self, registry=None):
+        """Fold the engine's counters into a metrics registry.
+
+        Includes everything the engine tracks: dispatched task counts (if
+        a registry was attached at construction they are already there),
+        verdict-cache hit/miss counters, and the aggregate explorer
+        counters from oracle tasks.
+        """
+        from repro.obs.metrics import MetricsRegistry, explorer_metrics
+
+        registry = registry if registry is not None else (
+            self.metrics if self.metrics is not None else MetricsRegistry()
+        )
+        registry.counter("engine.jobs").value = self.jobs
+        for name, cache in (
+            ("sc_cache", self.sc_cache),
+            ("drf0_cache", self.drf0_cache),
+        ):
+            registry.counter(f"engine.{name}.hits").value = cache.stats.hits
+            registry.counter(f"engine.{name}.misses").value = cache.stats.misses
+        explorer_metrics(
+            self.explorer_stats, registry, prefix="engine.explorer"
+        )
+        return registry
