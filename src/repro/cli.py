@@ -16,7 +16,17 @@ Commands:
 * ``profile`` -- one workload under one or two policies with the full
   observability stack: Perfetto trace out, metrics out, and the
   per-processor per-cause stall-attribution table (Figure 3 as numbers);
+* ``chaos`` -- the resilience suite: every delivery-preserving fault plan
+  must leave the Definition-2 verdict table untouched, every
+  delivery-violating plan must be flagged by the liveness machinery;
 * ``catalog`` -- list available litmus tests and workloads.
+
+Fault injection: ``simulate`` and ``sweep`` accept ``--faults PLAN``
+(see ``repro chaos`` for the plan names), ``--fault-seed N``, and
+``--watchdog CYCLES``.  ``sweep`` also accepts ``--journal FILE`` /
+``--resume`` (checkpointed, crash-tolerant sweeps) and ``--task-timeout``.
+Usage errors (bad flag combinations) exit with status 2; liveness
+failures print a per-processor diagnosis and exit 1 instead of hanging.
 
 Workload names (``lock``, ``ttas``, ``prodcons``, ``barrier``, ``phases``,
 ``critical_section``) are accepted wherever a program is expected.
@@ -89,13 +99,30 @@ def _resolve_program(name: str) -> Program:
         )
 
 
+def _usage_error(message: str) -> "SystemExit":
+    """One-line usage error on stderr, exit status 2 (argparse convention)."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
 def _config_from_args(args) -> SystemConfig:
+    fault_plan = None
+    plan_name = getattr(args, "faults", None)
+    if plan_name is not None:
+        from repro.sim.faults import FAULT_PLANS
+
+        fault_plan = FAULT_PLANS[plan_name]
+        fault_seed = getattr(args, "fault_seed", None)
+        if fault_seed is not None:
+            fault_plan = fault_plan.with_seed(fault_seed)
     return SystemConfig(
         topology=args.topology,
         caches=not args.no_caches,
         seed=args.seed,
         net_latency=args.net_latency,
         cache_capacity=args.capacity,
+        fault_plan=fault_plan,
+        watchdog_cycles=getattr(args, "watchdog", None),
     )
 
 
@@ -286,12 +313,20 @@ def cmd_models(args) -> int:
 
 
 def cmd_simulate(args) -> int:
+    from repro.sim.system import LivenessError
+
     program = _resolve_program(args.name)
     factory = POLICY_FACTORIES[args.policy]
     tracer = _make_tracer(args, force=args.trace)
-    run = run_on_hardware(
-        program, factory(), _config_from_args(args), tracer=tracer
-    )
+    try:
+        run = run_on_hardware(
+            program, factory(), _config_from_args(args), tracer=tracer
+        )
+    except LivenessError as exc:
+        # A fault plan (or a policy bug) stalled the machine: report which
+        # processor is stuck on what, instead of a traceback.
+        print(exc.diagnosis(), file=sys.stderr)
+        return 1
     verdict = appears_sc(program, [run.result])
     registry = None
     if args.metrics_json or args.json:
@@ -336,8 +371,16 @@ DEFAULT_SWEEP_PROGRAMS = ["MP+sync", "SB+sync", "TAS", "lock", "SB"]
 
 
 def cmd_sweep(args) -> int:
+    from repro.sim.system import LivenessError
     from repro.verify.engine import VerificationEngine
+    from repro.verify.journal import JournalError
 
+    if args.jobs < 0:
+        raise _usage_error(
+            f"--jobs must be >= 0 (got {args.jobs}); 0 means one per CPU"
+        )
+    if args.resume and not args.journal:
+        raise _usage_error("--resume requires --journal FILE")
     names = args.names or DEFAULT_SWEEP_PROGRAMS
     programs = [_resolve_program(name) for name in names]
     policy_names = args.policy or [
@@ -351,17 +394,33 @@ def cmd_sweep(args) -> int:
 
         registry = MetricsRegistry()
     engine = VerificationEngine(
-        jobs=args.jobs, tracer=tracer, metrics=registry
+        jobs=args.jobs, tracer=tracer, metrics=registry,
+        task_timeout=args.task_timeout,
     )
-    evidence = engine.definition2_sweep(
-        programs,
-        factories,
-        config=_config_from_args(args),
-        seeds=range(args.seeds),
-        drf0_seeds=range(args.drf0_seeds),
-        exhaustive_drf0=args.exhaustive_drf0,
-        check_51_conditions=args.check_51,
-    )
+    try:
+        evidence = engine.definition2_sweep(
+            programs,
+            factories,
+            config=_config_from_args(args),
+            seeds=range(args.seeds),
+            drf0_seeds=range(args.drf0_seeds),
+            exhaustive_drf0=args.exhaustive_drf0,
+            check_51_conditions=args.check_51,
+            journal_path=args.journal,
+            resume=args.resume,
+        )
+    except JournalError as exc:
+        raise _usage_error(str(exc))
+    except LivenessError as exc:
+        print(exc.diagnosis(), file=sys.stderr)
+        return 1
+    reused = engine.resilience.get("journal_units_reused")
+    if reused:
+        print(
+            f"resumed from {args.journal}: {reused} journaled work units "
+            "reused",
+            file=sys.stderr,
+        )
     print(
         f"{'program':<14}{'DRF0':<7}{'policy':<22}{'appears-SC':<12}"
         f"{'distinct':<10}{'5.1-viol':<10}{'mean cycles'}"
@@ -479,6 +538,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics-json", metavar="FILE", default=None,
                        help="write the metrics registry as JSON")
 
+    def add_fault_args(p):
+        from repro.sim.faults import FAULT_PLANS
+
+        p.add_argument("--faults", choices=sorted(FAULT_PLANS),
+                       default=None, metavar="PLAN",
+                       help="inject a named deterministic fault plan "
+                            f"({', '.join(sorted(FAULT_PLANS))})")
+        p.add_argument("--fault-seed", type=int, default=None,
+                       help="override the fault plan's seed (same plan + "
+                            "same seeds = bit-identical faults)")
+        p.add_argument("--watchdog", type=int, default=None, metavar="CYCLES",
+                       help="liveness watchdog: abort with a per-processor "
+                            "stall diagnosis after CYCLES cycles without "
+                            "architectural progress")
+
     p = sub.add_parser("catalog", help="list litmus tests and workloads")
     p.set_defaults(func=cmd_catalog)
 
@@ -517,6 +591,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable run report on stdout")
     add_hw_args(p)
+    add_fault_args(p)
     add_obs_args(p)
     p.set_defaults(func=cmd_simulate)
 
@@ -543,6 +618,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="print aggregate explorer counters for the oracle "
                         "work the sweep dispatched")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="abandon and resubmit a pooled task stuck longer "
+                        "than this (hung-worker recovery)")
+    p.add_argument("--journal", metavar="FILE", default=None,
+                   help="append every completed work unit to a checkpoint "
+                        "journal as the sweep runs")
+    p.add_argument("--resume", action="store_true",
+                   help="load the --journal file and recompute only the "
+                        "work units it is missing")
+    add_fault_args(p)
     add_obs_args(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -575,12 +661,54 @@ def build_parser() -> argparse.ArgumentParser:
                         "identical to --jobs 1")
     p.set_defaults(func=cmd_fuzz)
 
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection resilience suite (verdict invariance + "
+             "liveness detection)",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="CI-smoke subset: fewer programs, policies, plans, "
+                        "and seeds")
+    p.add_argument("--seeds", type=int, default=10,
+                   help="hardware seeds per (program, policy, plan) cell")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the per-plan sweeps")
+    p.add_argument("--report", metavar="FILE", default=None,
+                   help="also write the report as JSON")
+    p.set_defaults(func=cmd_chaos)
+
     return parser
+
+
+def cmd_chaos(args) -> int:
+    from repro.verify.chaos import chaos_sweep
+
+    if args.jobs < 0:
+        raise _usage_error(
+            f"--jobs must be >= 0 (got {args.jobs}); 0 means one per CPU"
+        )
+    report = chaos_sweep(
+        seeds=range(args.seeds),
+        jobs=args.jobs,
+        quick=args.quick,
+        progress=lambda message: print(f"  .. {message}", file=sys.stderr),
+    )
+    print(report.render())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report -> {args.report}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def cmd_fuzz(args) -> int:
     from repro.verify.engine import VerificationEngine
 
+    if args.jobs < 0:
+        raise _usage_error(
+            f"--jobs must be >= 0 (got {args.jobs}); 0 means one per CPU"
+        )
     engine = VerificationEngine(jobs=args.jobs)
     report = engine.fuzz(range(args.start_seed, args.start_seed + args.programs))
     print(
@@ -595,7 +723,13 @@ def cmd_fuzz(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # The engine's session teardown has already terminated any worker
+        # pool by the time the interrupt propagates here.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

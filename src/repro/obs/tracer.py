@@ -32,8 +32,9 @@ Event kinds follow the Chrome trace-event phases they export to:
 
 from __future__ import annotations
 
+from collections import deque
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, MutableSequence, Optional
 
 
 class TraceEvent:
@@ -123,12 +124,26 @@ NULL_TRACER = NullTracer()
 
 
 class RecordingTracer(Tracer):
-    """Collects events in memory for export (Chrome trace, JSONL, reports)."""
+    """Collects events in memory for export (Chrome trace, JSONL, reports).
+
+    ``capacity`` bounds the buffer: when set, the tracer keeps only the
+    most recent ``capacity`` events (a ring buffer) and counts everything
+    displaced in :attr:`dropped_events`.  Long chaos and soak runs can
+    leave tracing on without the event list growing past memory; the drop
+    count is surfaced by :meth:`metrics_snapshot` so a truncated trace is
+    never mistaken for a complete one.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
-        self.events: List[TraceEvent] = []
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.capacity = capacity
+        if capacity is not None:
+            self.events: MutableSequence[TraceEvent] = deque(maxlen=capacity)
+        else:
+            self.events = []
+        #: Events displaced from a bounded buffer (0 when unbounded).
+        self.dropped_events = 0
         self._prefix = ""
 
     def __len__(self) -> int:
@@ -137,28 +152,44 @@ class RecordingTracer(Tracer):
     def _track(self, track: str) -> str:
         return self._prefix + track if self._prefix else track
 
+    def _record(self, event: TraceEvent) -> None:
+        if self.capacity is not None and len(self.events) == self.capacity:
+            self.dropped_events += 1
+        self.events.append(event)
+
     def span(self, cat, name, track, start, end, args=None) -> None:
-        self.events.append(
+        self._record(
             TraceEvent("X", cat, name, self._track(track), start,
                        max(0, end - start), args)
         )
 
     def async_span(self, cat, name, track, start, end, args=None) -> None:
-        self.events.append(
+        self._record(
             TraceEvent("b", cat, name, self._track(track), start,
                        max(0, end - start), args)
         )
 
     def instant(self, cat, name, track, ts, args=None) -> None:
-        self.events.append(
+        self._record(
             TraceEvent("i", cat, name, self._track(track), ts, 0, args)
         )
 
     def counter(self, cat, name, track, ts, value) -> None:
-        self.events.append(
+        self._record(
             TraceEvent("C", cat, name, self._track(track), ts, 0,
                        {"value": value})
         )
+
+    def metrics_snapshot(self, registry=None):
+        """Fold buffer occupancy and drop counts into a metrics registry."""
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = registry if registry is not None else MetricsRegistry()
+        registry.counter("tracer.events").value = len(self.events)
+        registry.counter("tracer.dropped_events").value = self.dropped_events
+        if self.capacity is not None:
+            registry.counter("tracer.capacity").value = self.capacity
+        return registry
 
     @contextmanager
     def scope(self, prefix: str) -> Iterator["RecordingTracer"]:

@@ -44,6 +44,7 @@ from typing import Callable, Deque, Dict, List, Optional, Set
 from repro.core.types import Location, OpKind, Value
 from repro.sim.access import AccessRecord
 from repro.sim.events import SimulationError, Simulator
+from repro.sim.faults import NULL_INJECTOR
 from repro.sim.messages import Message, MsgKind
 from repro.sim.network import Interconnect
 
@@ -95,6 +96,7 @@ class CacheController:
         sync_nack: bool = True,
         nack_retry_delay: int = 8,
         capacity: Optional[int] = None,
+        injector=NULL_INJECTOR,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -107,11 +109,12 @@ class CacheController:
         self.sync_nack = sync_nack
         self.nack_retry_delay = nack_retry_delay
         self.capacity = capacity
+        self.injector = injector
 
         self.lines: Dict[Location, CacheLine] = {}
         self._lru_clock = 0
         self._last_use: Dict[Location, int] = {}
-        self._evicting: Dict[Location, AccessRecord] = {}
+        self._evicting: Dict[Location, Optional[AccessRecord]] = {}
         self._capacity_stalled: Deque[AccessRecord] = deque()
         self.evictions = 0
         #: The paper's per-processor counter of outstanding accesses.
@@ -267,9 +270,10 @@ class CacheController:
         self._capacity_stalled.append(access)
         return False
 
-    def _pick_victim(self) -> Optional[Location]:
-        """Least-recently-used valid line that is safe to evict."""
-        candidates = [
+    def _evictable_lines(self) -> List[Location]:
+        """Valid lines that are safe to evict (unreserved, no open
+        transaction, not already mid write-back)."""
+        return [
             loc
             for loc, line in self.lines.items()
             if line.state is not LineState.INVALID
@@ -277,9 +281,39 @@ class CacheController:
             and loc not in self._transactions
             and loc not in self._evicting
         ]
+
+    def _pick_victim(self) -> Optional[Location]:
+        """Least-recently-used valid line that is safe to evict."""
+        candidates = self._evictable_lines()
         if not candidates:
             return None
         return min(candidates, key=lambda loc: self._last_use.get(loc, 0))
+
+    def _force_evict_one(self) -> None:
+        """Fault injection: evict a random safe line through the normal
+        eviction machinery (silent drop for clean copies, synchronous
+        write-back for dirty ones), stressing the directory's stale-sharer
+        and write-back races without breaking any protocol invariant."""
+        candidates = sorted(self._evictable_lines())
+        if not candidates:
+            return
+        victim = self.injector.choose(candidates)
+        line = self.lines[victim]
+        self.injector.count_forced_eviction()
+        self.evictions += 1
+        if line.state is LineState.SHARED:
+            line.state = LineState.INVALID
+            return
+        self._evicting[victim] = None
+        self.network.send(
+            Message(
+                MsgKind.WB_EVICT,
+                src=self.node_id,
+                dst=self.directory_id,
+                location=victim,
+                value=line.value,
+            )
+        )
 
     def _touch(self, location: Location) -> None:
         self._lru_clock += 1
@@ -388,6 +422,8 @@ class CacheController:
             self._on_wb_ok(message)
         else:  # pragma: no cover - protocol is closed
             raise SimulationError(f"{self.node_id} got unexpected {kind}")
+        if self.injector.enabled and self.injector.should_force_evict():
+            self._force_evict_one()
 
     def _on_nack(self, message: Message) -> None:
         """Our request bounced off a reserved line: retry after a delay.
@@ -615,12 +651,43 @@ class CacheController:
     # ------------------------------------------------------------------
 
     def _decrement_counter(self) -> None:
+        if self.injector.enabled:
+            delay = self.injector.counter_decrement_delay()
+            if delay:
+                # Fault: the decrement takes effect late.  Reserve bits stay
+                # set longer and counter-gated accesses wait longer, but the
+                # injector bounds the delay below the NACK retry delay so the
+                # counter still reads zero inside every NACK/retry window.
+                self.sim.after(delay, self._do_decrement)
+                return
+        self._do_decrement()
+
+    def _do_decrement(self) -> None:
         self.counter -= 1
         if self.counter < 0:
             raise SimulationError(f"{self.node_id}: counter went negative")
         if self.counter == 0:
-            self._clear_reserve_bits()
+            self._maybe_clear_reserve_bits()
         self._release_deferred_misses()
+
+    def _maybe_clear_reserve_bits(self) -> None:
+        if self.injector.enabled:
+            delay = self.injector.reserve_clear_delay()
+            if delay:
+                # Fault: the all-bits-clear happens late.  Guarded on entry:
+                # a miss issued meanwhile re-raises the counter, and the
+                # paper only clears reserve bits while the counter reads 0.
+                self.sim.after(delay, self._delayed_clear_reserve_bits)
+                return
+        self._clear_reserve_bits()
+
+    def _delayed_clear_reserve_bits(self) -> None:
+        if self.counter == 0:
+            self._clear_reserve_bits()
+            # The decrement that scheduled this clear already tried to
+            # release deferred misses and found the reserve window full;
+            # now that the bits are clear they must be re-released.
+            self._release_deferred_misses()
 
     def _clear_reserve_bits(self) -> None:
         """All reserve bits are reset when the counter reads zero (paper)."""

@@ -28,6 +28,7 @@ from typing import Deque, Dict, Optional, Set
 
 from repro.core.types import Location, Value
 from repro.sim.events import SimulationError, Simulator
+from repro.sim.faults import NULL_INJECTOR
 from repro.sim.messages import Message, MsgKind
 from repro.sim.network import Interconnect
 
@@ -59,11 +60,13 @@ class Directory:
         node_id: str,
         initial_memory: Dict[Location, Value],
         latency: int = 4,
+        injector=NULL_INJECTOR,
     ) -> None:
         self.sim = sim
         self.network = network
         self.node_id = node_id
         self.latency = latency
+        self.injector = injector
         self.memory: Dict[Location, Value] = dict(initial_memory)
         self.entries: Dict[Location, DirectoryEntry] = {}
         self._busy: Dict[Location, _DirTransaction] = {}
@@ -110,7 +113,13 @@ class Directory:
             self._waiting.setdefault(loc, deque()).append(message)
             return
         self._busy[loc] = _DirTransaction(message)
-        self.sim.after(self.latency, lambda: self._process(message))
+        self.sim.after(self._service_latency(), lambda: self._process(message))
+
+    def _service_latency(self) -> int:
+        """Service latency, plus any fault-injected jitter."""
+        if self.injector.enabled:
+            return self.latency + self.injector.service_delay()
+        return self.latency
 
     def _process(self, message: Message) -> None:
         self.requests_served += 1
@@ -290,7 +299,7 @@ class Directory:
             if not waiting:
                 del self._waiting[loc]
             self._busy[loc] = _DirTransaction(message)
-            self.sim.after(self.latency, lambda: self._process(message))
+            self.sim.after(self._service_latency(), lambda: self._process(message))
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,421 @@
+"""Deterministic fault injection for the simulated memory system.
+
+The paper's correctness argument (Appendix A, the conditions of Section
+5.1) assumes a well-behaved substrate: every message is eventually
+delivered, every counter eventually drains, every reserved line is
+eventually unreserved.  This module stresses those assumptions *without*
+giving up reproducibility: a :class:`FaultPlan` is a pure description of
+which faults to inject, a :class:`FaultInjector` turns it into seeded
+decisions, and every decision is drawn from one ``random.Random`` in
+simulator event order -- so a run under a fault plan is exactly as
+deterministic as a fault-free run.
+
+Fault families
+--------------
+
+Interconnect (``network.py``):
+
+* **delay jitter** -- extra per-message delivery delay;
+* **bounded reordering** -- a random subset of messages is held for a
+  bounded extra window, reordering them against later traffic (on the
+  bus this deliberately breaks the FIFO guarantee -- the directory
+  protocol must already tolerate arbitrary order);
+* **duplication** -- a message is delivered twice; the interconnect's
+  idempotent-delivery filter (keyed by ``msg_id``) suppresses the copy,
+  modelling an at-least-once transport behind exactly-once endpoints;
+* **transient NACK-with-retry** -- the transport refuses a message a
+  bounded number of times; each refusal costs a retry delay (modelled as
+  retransmission by the interconnect, so the protocol state machines are
+  untouched);
+* **drops** -- a message is *never* delivered.  This is the one
+  delivery-violating fault: plans with ``drop_prob > 0`` are expected to
+  be flagged by the liveness watchdog, not survived.
+
+Cache (``cache.py``):
+
+* **forced evictions** -- a random valid, unreserved, transaction-free
+  line is evicted (SHARED copies drop silently, MODIFIED copies write
+  back synchronously), exercising the directory's stale-state races;
+* **delayed counter decrement** -- the paper's per-processor counter of
+  outstanding accesses decrements late, keeping reserve bits set longer;
+* **delayed reserve-bit clearing** -- the all-bits-clear at counter zero
+  happens late (guarded: it only fires if the counter still reads zero).
+
+Directory (``directory.py``) and memory module: **service jitter** --
+extra cycles before a request is processed.
+
+Processor (``processor.py``): **issue jitter** -- extra cycles before an
+access reaches its generation gate.
+
+Liveness constraint
+-------------------
+
+Delivery-preserving plans must keep ``counter_decrement_delay +
+reserve_clear_delay`` strictly below the cache's NACK retry delay
+(default 8): the Section-5.3 deadlock-freedom argument needs the counter
+to *read zero* in the window between a NACK's decrement and the retry's
+re-increment.  :meth:`FaultPlan.validate` enforces this.
+
+Zero-cost null path
+-------------------
+
+Every hooked component holds an injector and asks ``injector.enabled``
+(one attribute load) before doing anything; the shared
+:data:`NULL_INJECTOR` answers ``False`` forever, so fault-free runs pay
+one branch per hook site and allocate nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class FaultConfigError(ValueError):
+    """An invalid or liveness-unsafe fault plan."""
+
+
+#: The cache's default NACK retry delay; delivery-preserving plans must
+#: keep their counter/reserve delays below this (see module docstring).
+_NACK_RETRY_DELAY = 8
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A pure, picklable, hashable description of the faults to inject.
+
+    Attributes:
+        name: Registry/reporting name.
+        seed: Base seed for the injector's RNG (combined with the run's
+            nondeterminism seed, so the same plan perturbs different
+            seeds differently but each run stays reproducible).
+        delay_jitter: Max extra delivery delay per message (uniform).
+        reorder_prob / reorder_window: Probability that a message is held
+            for an extra uniform ``[1, reorder_window]`` cycles.
+        duplicate_prob: Probability a message is delivered twice (the
+            duplicate is suppressed by the endpoint filter).
+        transport_nack_prob / transport_retry_delay /
+        transport_max_retries: Transient transport refusals; each costs
+            ``transport_retry_delay`` cycles, at most
+            ``transport_max_retries`` per message (bounded, so delivery
+            is preserved).
+        drop_prob: Probability a message is silently dropped --
+            **delivery violating**; ``drop_limit`` caps the total drops.
+        drop_kinds: If set, only messages whose ``kind.value`` is listed
+            are drop candidates (lets a plan black-hole e.g. only acks).
+        dir_service_jitter: Max extra cycles before the directory (or
+            memory module) services a request.
+        evict_prob: Per-handled-message probability of force-evicting a
+            random evictable cache line.
+        counter_decrement_delay: Max extra cycles before a counter
+            decrement takes effect.
+        reserve_clear_delay: Max extra cycles before reserve bits clear
+            once the counter reads zero.
+        issue_jitter: Max extra cycles before an access reaches its
+            generation gate.
+    """
+
+    name: str = "baseline"
+    seed: int = 0
+    delay_jitter: int = 0
+    reorder_prob: float = 0.0
+    reorder_window: int = 0
+    duplicate_prob: float = 0.0
+    transport_nack_prob: float = 0.0
+    transport_retry_delay: int = 6
+    transport_max_retries: int = 2
+    drop_prob: float = 0.0
+    drop_limit: Optional[int] = None
+    drop_kinds: Optional[Tuple[str, ...]] = None
+    dir_service_jitter: int = 0
+    evict_prob: float = 0.0
+    counter_decrement_delay: int = 0
+    reserve_clear_delay: int = 0
+    issue_jitter: int = 0
+
+    @property
+    def delivery_preserving(self) -> bool:
+        """True when every accepted message is eventually delivered."""
+        return self.drop_prob == 0.0
+
+    @property
+    def injects_anything(self) -> bool:
+        """False for the do-nothing (baseline) plan."""
+        return any(
+            (
+                self.delay_jitter,
+                self.reorder_prob,
+                self.duplicate_prob,
+                self.transport_nack_prob,
+                self.drop_prob,
+                self.dir_service_jitter,
+                self.evict_prob,
+                self.counter_decrement_delay,
+                self.reserve_clear_delay,
+                self.issue_jitter,
+            )
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """Copy of this plan with a different base seed."""
+        return replace(self, seed=seed)
+
+    def validate(self) -> "FaultPlan":
+        """Raise :class:`FaultConfigError` on nonsensical or unsafe knobs."""
+        for field_name in (
+            "delay_jitter", "reorder_window", "transport_retry_delay",
+            "transport_max_retries", "dir_service_jitter",
+            "counter_decrement_delay", "reserve_clear_delay", "issue_jitter",
+        ):
+            if getattr(self, field_name) < 0:
+                raise FaultConfigError(f"{self.name}: {field_name} must be >= 0")
+        for field_name in (
+            "reorder_prob", "duplicate_prob", "transport_nack_prob", "drop_prob",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultConfigError(
+                    f"{self.name}: {field_name} must be a probability"
+                )
+        if self.reorder_prob and self.reorder_window < 1:
+            raise FaultConfigError(
+                f"{self.name}: reorder_prob needs reorder_window >= 1"
+            )
+        if (
+            self.delivery_preserving
+            and self.counter_decrement_delay + self.reserve_clear_delay
+            >= _NACK_RETRY_DELAY
+        ):
+            raise FaultConfigError(
+                f"{self.name}: counter_decrement_delay + reserve_clear_delay "
+                f"must stay below the NACK retry delay ({_NACK_RETRY_DELAY}) "
+                "or cross-reservation NACK loops can livelock"
+            )
+        return self
+
+
+class NullInjector:
+    """The do-nothing injector; hooks ask ``enabled`` and skip everything."""
+
+    enabled: bool = False
+
+    def snapshot(self) -> Dict[str, int]:
+        """No faults, no stats."""
+        return {}
+
+
+#: Shared do-nothing injector; components default to it so fault
+#: injection is opt-in per run and costs one ``enabled`` check when off.
+NULL_INJECTOR = NullInjector()
+
+
+class FaultInjector:
+    """Seeded fault decisions for one hardware run.
+
+    All decisions come from a single ``random.Random`` seeded from
+    ``(plan.seed, run_seed)``; because the simulator executes events in a
+    deterministic order, the decision sequence -- and therefore the whole
+    faulted run -- is reproducible from the configuration alone.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, plan: FaultPlan, run_seed: int = 0) -> None:
+        plan.validate()
+        self.plan = plan
+        self._rng = random.Random(
+            ((plan.seed + 0x9E3779B1) * 0x85EBCA6B) ^ (run_seed * 0xC2B2AE35)
+        )
+        self.stats: Dict[str, int] = {}
+
+    def _count(self, key: str, n: int = 1) -> None:
+        self.stats[key] = self.stats.get(key, 0) + n
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the per-run fault counters (sorted keys for reports)."""
+        return {key: self.stats[key] for key in sorted(self.stats)}
+
+    # -- interconnect hooks ------------------------------------------------
+
+    def delivery_times(self, message, arrival: int) -> List[int]:
+        """Delivery time(s) for a message scheduled to arrive at ``arrival``.
+
+        Empty list = dropped; more than one entry = duplicated (endpoint
+        filter suppresses the extras).
+        """
+        plan = self.plan
+        rng = self._rng
+        if plan.drop_prob and rng.random() < plan.drop_prob:
+            eligible = (
+                plan.drop_kinds is None
+                or message.kind.value in plan.drop_kinds
+            )
+            under_limit = (
+                plan.drop_limit is None
+                or self.stats.get("messages_dropped", 0) < plan.drop_limit
+            )
+            if eligible and under_limit:
+                self._count("messages_dropped")
+                return []
+        when = arrival
+        if plan.delay_jitter:
+            extra = rng.randint(0, plan.delay_jitter)
+            if extra:
+                self._count("delay_jitter_cycles", extra)
+                when += extra
+        if plan.reorder_prob and rng.random() < plan.reorder_prob:
+            self._count("messages_reordered")
+            when += rng.randint(1, plan.reorder_window)
+        if plan.transport_nack_prob:
+            retries = 0
+            while (
+                retries < plan.transport_max_retries
+                and rng.random() < plan.transport_nack_prob
+            ):
+                retries += 1
+            if retries:
+                self._count("transport_retries", retries)
+                when += retries * plan.transport_retry_delay
+        times = [when]
+        if plan.duplicate_prob and rng.random() < plan.duplicate_prob:
+            self._count("messages_duplicated")
+            times.append(when + rng.randint(1, max(1, plan.delay_jitter or 4)))
+        return times
+
+    def count_duplicate_suppressed(self) -> None:
+        """The endpoint filter swallowed a duplicate delivery."""
+        self._count("duplicates_suppressed")
+
+    # -- directory / memory-module hooks -----------------------------------
+
+    def service_delay(self) -> int:
+        """Extra cycles before a directory/memory request is serviced."""
+        jitter = self.plan.dir_service_jitter
+        if not jitter:
+            return 0
+        extra = self._rng.randint(0, jitter)
+        if extra:
+            self._count("service_jitter_cycles", extra)
+        return extra
+
+    # -- cache hooks -------------------------------------------------------
+
+    def should_force_evict(self) -> bool:
+        """Whether to force-evict a line after the current message."""
+        return bool(
+            self.plan.evict_prob and self._rng.random() < self.plan.evict_prob
+        )
+
+    def count_forced_eviction(self) -> None:
+        self._count("forced_evictions")
+
+    def choose(self, candidates: Sequence):
+        """Deterministically pick one of ``candidates`` (pre-sorted)."""
+        return candidates[self._rng.randrange(len(candidates))]
+
+    def counter_decrement_delay(self) -> int:
+        """Extra cycles before a counter decrement takes effect."""
+        bound = self.plan.counter_decrement_delay
+        if not bound:
+            return 0
+        extra = self._rng.randint(0, bound)
+        if extra:
+            self._count("counter_decrements_delayed")
+        return extra
+
+    def reserve_clear_delay(self) -> int:
+        """Extra cycles before reserve bits clear at counter zero."""
+        bound = self.plan.reserve_clear_delay
+        if not bound:
+            return 0
+        extra = self._rng.randint(0, bound)
+        if extra:
+            self._count("reserve_clears_delayed")
+        return extra
+
+    # -- processor hooks ---------------------------------------------------
+
+    def issue_delay(self) -> int:
+        """Extra cycles before an access reaches its generation gate."""
+        jitter = self.plan.issue_jitter
+        if not jitter:
+            return 0
+        extra = self._rng.randint(0, jitter)
+        if extra:
+            self._count("issue_jitter_cycles", extra)
+        return extra
+
+
+def build_injector(
+    plan: Optional[FaultPlan], run_seed: int = 0
+):
+    """The injector for ``plan`` (the shared null injector for ``None``)."""
+    if plan is None or not plan.injects_anything:
+        return NULL_INJECTOR
+    return FaultInjector(plan, run_seed)
+
+
+#: The delivery-preserving fault catalog: under every one of these, every
+#: policy's Definition-2 verdict must match the fault-free sweep (the E12
+#: invariance experiment; ``python -m repro chaos``).
+DELIVERY_PRESERVING_PLANS: Dict[str, FaultPlan] = {
+    plan.name: plan
+    for plan in (
+        FaultPlan(name="jitter-light", delay_jitter=3),
+        FaultPlan(name="jitter-heavy", delay_jitter=12),
+        FaultPlan(name="reorder", reorder_prob=0.3, reorder_window=9),
+        FaultPlan(name="duplicate", duplicate_prob=0.25, delay_jitter=2),
+        FaultPlan(
+            name="transport-nack",
+            transport_nack_prob=0.3,
+            transport_retry_delay=6,
+            transport_max_retries=2,
+        ),
+        FaultPlan(name="evict-storm", evict_prob=0.2),
+        FaultPlan(name="slow-counter", counter_decrement_delay=2),
+        FaultPlan(name="slow-reserve-clear", reserve_clear_delay=3),
+        FaultPlan(name="dir-jitter", dir_service_jitter=5),
+        FaultPlan(name="issue-jitter", issue_jitter=4),
+        FaultPlan(
+            name="kitchen-sink",
+            delay_jitter=6,
+            reorder_prob=0.2,
+            reorder_window=6,
+            duplicate_prob=0.1,
+            transport_nack_prob=0.15,
+            evict_prob=0.1,
+            counter_decrement_delay=1,
+            reserve_clear_delay=2,
+            dir_service_jitter=3,
+            issue_jitter=2,
+        ),
+    )
+}
+
+#: Delivery-violating plans: the watchdog (or the deadlock detector) must
+#: terminate these with a per-processor stall-cause diagnosis -- never a
+#: hang, never a traceback.
+DELIVERY_VIOLATING_PLANS: Dict[str, FaultPlan] = {
+    plan.name: plan
+    for plan in (
+        FaultPlan(name="drop-all", drop_prob=1.0),
+        FaultPlan(
+            name="blackhole-acks",
+            drop_prob=0.5,
+            drop_kinds=(
+                "write_ack", "inval_ack", "wb_ok", "nack_done",
+                "mem_write_ack", "mem_data", "data", "data_ex",
+            ),
+        ),
+    )
+}
+
+#: Every named plan the CLI accepts for ``--faults``.
+FAULT_PLANS: Dict[str, FaultPlan] = {
+    **DELIVERY_PRESERVING_PLANS,
+    **DELIVERY_VIOLATING_PLANS,
+}
+
+for _plan in FAULT_PLANS.values():
+    _plan.validate()

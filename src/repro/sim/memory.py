@@ -22,6 +22,7 @@ from typing import Deque, Dict, Optional
 from repro.core.types import Location, OpKind, Value
 from repro.sim.access import AccessRecord
 from repro.sim.events import SimulationError, Simulator
+from repro.sim.faults import NULL_INJECTOR
 from repro.sim.messages import Message, MsgKind
 from repro.sim.network import Interconnect
 
@@ -41,16 +42,21 @@ class MemoryModule:
         node_id: str,
         initial_memory: Dict[Location, Value],
         latency: int = 4,
+        injector=NULL_INJECTOR,
     ) -> None:
         self.sim = sim
         self.network = network
         self.node_id = node_id
         self.values: Dict[Location, Value] = dict(initial_memory)
         self.latency = latency
+        self.injector = injector
         network.attach(node_id, self._on_message)
 
     def _on_message(self, message: Message) -> None:
-        self.sim.after(self.latency, lambda: self._service(message))
+        delay = self.latency
+        if self.injector.enabled:
+            delay += self.injector.service_delay()
+        self.sim.after(delay, lambda: self._service(message))
 
     def _service(self, message: Message) -> None:
         """Apply the request atomically and reply."""

@@ -21,6 +21,7 @@ import random
 from typing import Callable, Dict, Optional
 
 from repro.sim.events import SimulationError, Simulator
+from repro.sim.faults import NULL_INJECTOR
 from repro.sim.messages import Message
 
 #: Handler invoked when a message is delivered to a node.
@@ -34,6 +35,10 @@ class Interconnect:
         self.sim = sim
         self._handlers: Dict[str, Handler] = {}
         self.messages_sent = 0
+        #: Fault injector (see :mod:`repro.sim.faults`); the shared null
+        #: injector keeps the fault-free path to one attribute check.
+        self.injector = NULL_INJECTOR
+        self._delivered_ids: Optional[set] = None
 
     def attach(self, node_id: str, handler: Handler) -> None:
         """Register ``node_id``; messages addressed to it invoke ``handler``."""
@@ -50,6 +55,37 @@ class Interconnect:
         if handler is None:
             raise SimulationError(f"message to unknown node {message.dst!r}")
         handler(message)
+
+    def _schedule_delivery(self, message: Message, arrival: int) -> None:
+        """Schedule delivery at ``arrival``, applying any fault plan.
+
+        With faults active the injector may delay the message, refuse it a
+        bounded number of times (modelled as retransmission latency), drop
+        it outright, or deliver it more than once.  Duplicate deliveries
+        pass through an idempotent-delivery filter keyed by ``msg_id`` --
+        the endpoints see exactly-once semantics over an at-least-once
+        transport, so the protocol state machines need no changes.
+        """
+        if not self.injector.enabled:
+            self.sim.at(arrival, lambda: self._deliver(message))
+            return
+        times = self.injector.delivery_times(message, arrival)
+        if not times:
+            return  # dropped: delivery-violating plans answer to the watchdog
+        if len(times) == 1:
+            self.sim.at(times[0], lambda: self._deliver(message))
+            return
+        if self._delivered_ids is None:
+            self._delivered_ids = set()
+        for when in times:
+            self.sim.at(when, lambda: self._deliver_once(message))
+
+    def _deliver_once(self, message: Message) -> None:
+        if message.msg_id in self._delivered_ids:
+            self.injector.count_duplicate_suppressed()
+            return
+        self._delivered_ids.add(message.msg_id)
+        self._deliver(message)
 
 
 class Bus(Interconnect):
@@ -82,7 +118,7 @@ class Bus(Interconnect):
                     "loc": message.location,
                 },
             )
-        self.sim.at(done, lambda: self._deliver(message))
+        self._schedule_delivery(message, done)
 
 
 class GeneralNetwork(Interconnect):
@@ -130,4 +166,4 @@ class GeneralNetwork(Interconnect):
                     "loc": message.location,
                 },
             )
-        self.sim.at(arrival, lambda: self._deliver(message))
+        self._schedule_delivery(message, arrival)

@@ -51,6 +51,7 @@ from repro.obs.stall import (
 )
 from repro.sim.access import AccessRecord, BlockLevel, GateCondition
 from repro.sim.events import Simulator
+from repro.sim.faults import NULL_INJECTOR
 
 
 def _gate_cause(gates: List["GateCondition"]) -> str:
@@ -121,6 +122,7 @@ class Processor:
         uid_allocator: Callable[[], int],
         on_halt: Callable[["Processor"], None],
         local_cycle: int = 1,
+        injector=NULL_INJECTOR,
     ) -> None:
         self.sim = sim
         self.proc_id = proc_id
@@ -130,6 +132,7 @@ class Processor:
         self._uid_allocator = uid_allocator
         self._on_halt = on_halt
         self.local_cycle = local_cycle
+        self.injector = injector
 
         self.tracer = sim.tracer
         self._track = f"P{proc_id}"
@@ -140,6 +143,10 @@ class Processor:
         self.last_generated: Optional[AccessRecord] = None
         self._current_request: Optional[MemRequest] = None
         self._po_index = 0
+        #: What this processor is waiting on right now, for the liveness
+        #: watchdog's diagnosis: None, ("gate", cause, access-or-None), or
+        #: ("block", access).
+        self.wait_state: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Policy-facing bookkeeping
@@ -197,10 +204,12 @@ class Processor:
             return
         fence_start = self.sim.now
         remaining = {"count": len(pending)}
+        self.wait_state = ("gate", GATE_FENCE, None)
 
         def one_done(_a: AccessRecord) -> None:
             remaining["count"] -= 1
             if remaining["count"] == 0:
+                self.wait_state = None
                 stalled = self.sim.now - fence_start
                 self.stats.gate_stall_cycles += stalled
                 self.stats.add_stall(GATE_FENCE, stalled)
@@ -222,6 +231,14 @@ class Processor:
         self._on_halt(self)
 
     def _at_memory_request(self, request: MemRequest) -> None:
+        if self.injector.enabled:
+            extra = self.injector.issue_delay()
+            if extra:
+                self.sim.after(extra, lambda: self._issue_request(request))
+                return
+        self._issue_request(request)
+
+    def _issue_request(self, request: MemRequest) -> None:
         access = AccessRecord(
             uid=self._uid_allocator(),
             proc=self.proc_id,
@@ -244,10 +261,12 @@ class Processor:
         gate_start = self.sim.now
         cause = _gate_cause(gates)
         remaining = {"count": len(gates)}
+        self.wait_state = ("gate", cause, access)
 
         def one_done() -> None:
             remaining["count"] -= 1
             if remaining["count"] == 0:
+                self.wait_state = None
                 stalled = self.sim.now - gate_start
                 self.stats.gate_stall_cycles += stalled
                 self.stats.add_stall(cause, stalled)
@@ -278,8 +297,10 @@ class Processor:
             self._finish_instruction(access)
             return
         block_start = self.sim.now
+        self.wait_state = ("block", access)
 
         def unblock(_a: AccessRecord) -> None:
+            self.wait_state = None
             end = self.sim.now
             self.stats.block_stall_cycles += end - block_start
             self._attribute_block(access, block_start, end)
@@ -337,6 +358,44 @@ class Processor:
         self._resume()
 
     # ------------------------------------------------------------------
+
+    def stall_diagnosis(self) -> Optional[str]:
+        """What this processor is stuck on, for the liveness watchdog.
+
+        Returns None for a halted processor; otherwise a one-line
+        description naming the stall cause (the observability layer's
+        taxonomy) and the access being waited on.
+        """
+        if self.halted:
+            return None
+        state = self.wait_state
+        if state is None:
+            return (
+                f"P{self.proc_id}: no access in flight "
+                "(local execution or a lost scheduling event)"
+            )
+        if state[0] == "gate":
+            _, cause, access = state
+            if access is None:
+                return f"P{self.proc_id}: stalled at {cause}"
+            return (
+                f"P{self.proc_id}: stalled at generation gate {cause} before "
+                f"{access.kind.value} {access.location} (uid {access.uid})"
+            )
+        _, access = state
+        if not access.committed:
+            if access.nacks:
+                cause = BLOCK_RESERVE_NACK
+            elif access.missed:
+                cause = BLOCK_COHERENCE_MISS
+            else:
+                cause = BLOCK_HIT
+        else:
+            cause = BLOCK_BUFFER_DRAIN if access.buffered else BLOCK_COUNTER_WAIT
+        return (
+            f"P{self.proc_id}: blocked on {cause} for "
+            f"{access.kind.value} {access.location} (uid {access.uid})"
+        )
 
     def read_values_in_program_order(self) -> List[Value]:
         """Values returned by this processor's read components, po order."""

@@ -25,14 +25,41 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a cycle through repro.hw
 from repro.sim.cache import CacheController
 from repro.sim.directory import Directory
 from repro.sim.events import SimulationError, Simulator
+from repro.sim.faults import FaultPlan, NULL_INJECTOR, build_injector
 from repro.sim.memory import CachelessPort, MemoryModule
 from repro.sim.network import Bus, GeneralNetwork, Interconnect
 from repro.sim.processor import Processor, ProcessorStats
 from repro.sim.write_buffer import BufferedCachePort
 
 
-class SimulationDeadlock(SimulationError):
+class LivenessError(SimulationError):
+    """The run failed to make progress (deadlock or livelock).
+
+    ``stuck`` carries one human-readable diagnosis line per non-halted
+    processor (from :meth:`~repro.sim.processor.Processor.stall_diagnosis`),
+    naming the stall cause each is wedged on.
+    """
+
+    def __init__(self, message: str, stuck: Sequence[str] = ()) -> None:
+        super().__init__(message)
+        self.stuck = tuple(stuck)
+
+    def __reduce__(self):  # keep picklability across worker processes
+        return (type(self), (self.args[0], self.stuck))
+
+    def diagnosis(self) -> str:
+        """The message plus the per-processor stall diagnoses."""
+        lines = [str(self.args[0])]
+        lines.extend(f"  {line}" for line in self.stuck)
+        return "\n".join(lines)
+
+
+class SimulationDeadlock(LivenessError):
     """The event queue drained before every thread halted."""
+
+
+class WatchdogTimeout(LivenessError):
+    """The liveness watchdog saw no architectural progress for too long."""
 
 
 @dataclass(frozen=True)
@@ -88,6 +115,12 @@ class SystemConfig:
     remote_sync_nack: bool = True
     nack_retry_delay: int = 8
     max_events: int = 50_000_000
+    #: Fault plan to inject (see :mod:`repro.sim.faults`); None = fault free.
+    #: Directory substrate only (the snooping bus is atomic by construction).
+    fault_plan: Optional[FaultPlan] = None
+    #: Liveness watchdog: abort with a per-processor stall diagnosis after
+    #: this many cycles without architectural progress (None = disabled).
+    watchdog_cycles: Optional[int] = None
 
     def with_seed(self, seed: int) -> "SystemConfig":
         """Copy of this config with a different nondeterminism seed."""
@@ -124,6 +157,8 @@ class MachineRun:
     cache_stats: List[Dict[str, int]] = field(default_factory=list)
     #: Directory statistics: {"requests", "invalidations"} (cacheless: {}).
     directory_stats: Dict[str, int] = field(default_factory=dict)
+    #: Fault-injection counters for the run ({} when fault free).
+    fault_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_stall_cycles(self) -> int:
@@ -163,6 +198,12 @@ def run_on_hardware(
         raise ValueError(
             f"policy {policy.name!r} needs the cache-coherent substrate"
         )
+    injector = build_injector(config.fault_plan, config.seed)
+    if injector.enabled and config.coherence == "snoop":
+        raise ValueError(
+            "fault injection supports the directory substrate only "
+            "(the snooping bus is atomic by construction)"
+        )
 
     sim = Simulator(tracer)
     directory = None
@@ -201,10 +242,12 @@ def run_on_hardware(
         )
 
     network = build_interconnect(sim, config)
+    network.injector = injector
 
     if config.caches:
         directory = Directory(
-            sim, network, "dir", dict(program.initial_memory), latency=config.mem_latency
+            sim, network, "dir", dict(program.initial_memory),
+            latency=config.mem_latency, injector=injector,
         )
         for proc in range(program.num_procs):
             cache = CacheController(
@@ -219,6 +262,7 @@ def run_on_hardware(
                 sync_nack=config.remote_sync_nack,
                 nack_retry_delay=config.nack_retry_delay,
                 capacity=config.cache_capacity,
+                injector=injector,
             )
             caches.append(cache)
             if policy.buffers_cache_writes and config.write_buffer:
@@ -229,7 +273,8 @@ def run_on_hardware(
                 ports.append(cache)
     else:
         memory_module = MemoryModule(
-            sim, network, "mem", dict(program.initial_memory), latency=config.mem_latency
+            sim, network, "mem", dict(program.initial_memory),
+            latency=config.mem_latency, injector=injector,
         )
         for proc in range(program.num_procs):
             ports.append(
@@ -245,7 +290,7 @@ def run_on_hardware(
 
     return _run_processors(
         program, policy, config, sim, network, ports,
-        directory, memory_module, caches,
+        directory, memory_module, caches, injector=injector,
     )
 
 
@@ -259,6 +304,7 @@ def _run_processors(
     directory,
     memory_module: Optional[MemoryModule],
     caches: Sequence[object],
+    injector=NULL_INJECTOR,
 ) -> MachineRun:
     """Start one processor per thread, run to quiescence, package the run."""
     uid_counter = {"next": 0}
@@ -284,21 +330,96 @@ def _run_processors(
             allocate_uid,
             on_halt,
             local_cycle=config.local_cycle,
+            injector=injector,
         )
         processors.append(processor)
         processor.start()
 
-    sim.run(max_events=config.max_events)
+    def diagnoses() -> List[str]:
+        return [d for p in processors if (d := p.stall_diagnosis()) is not None]
+
+    if config.watchdog_cycles:
+        _run_with_watchdog(
+            sim, config, program, policy, processors, halted, diagnoses
+        )
+    else:
+        sim.run(max_events=config.max_events)
 
     if halted["count"] != program.num_procs:
         stuck = [p.proc_id for p in processors if not p.halted]
         raise SimulationDeadlock(
             f"processors {stuck} never halted (program {program.name!r}, "
-            f"policy {policy.name!r}, seed {config.seed})"
+            f"policy {policy.name!r}, seed {config.seed})",
+            stuck=diagnoses(),
         )
 
-    return _package_run(program, policy, config, sim, network, processors,
-                        directory, memory_module, caches)
+    run = _package_run(program, policy, config, sim, network, processors,
+                       directory, memory_module, caches)
+    if injector.enabled:
+        run.fault_stats = injector.snapshot()
+    return run
+
+
+def _run_with_watchdog(
+    sim: Simulator,
+    config: SystemConfig,
+    program: Program,
+    policy: "MemoryPolicy",
+    processors: Sequence[Processor],
+    halted: Dict[str, int],
+    diagnoses,
+) -> None:
+    """Drain the event queue under a liveness watchdog.
+
+    Progress is architectural: a processor halting, an access being
+    generated, committed, or globally performed.  Protocol chatter that
+    moves none of those (e.g. an endless NACK/retry loop) does not count,
+    so the watchdog catches livelock as well as slow-burn deadlock.  When
+    no progress happens for ``watchdog_cycles`` simulated cycles the run
+    aborts with a :class:`WatchdogTimeout` naming each processor's stall
+    cause -- the chaos harness turns delivery-violating fault plans into
+    this diagnosis instead of a hang.
+    """
+    budget = config.watchdog_cycles
+    check_every = max(1, budget // 4)
+    state = {"checked": -1, "sig": None, "progress_at": 0, "tripped": False}
+
+    def signature() -> tuple:
+        generated = committed = performed = 0
+        for proc in processors:
+            generated += proc.stats.accesses_generated
+            for access in proc.accesses:
+                if access.committed:
+                    committed += 1
+                if access.globally_performed:
+                    performed += 1
+        return (halted["count"], generated, committed, performed)
+
+    def stop_when() -> bool:
+        now = sim.now
+        if now - state["checked"] < check_every:
+            return False
+        state["checked"] = now
+        sig = signature()
+        if sig != state["sig"]:
+            state["sig"] = sig
+            state["progress_at"] = now
+            return False
+        if now - state["progress_at"] >= budget:
+            state["tripped"] = True
+            return True
+        return False
+
+    sim.run(max_events=config.max_events, stop_when=stop_when)
+
+    if state["tripped"]:
+        plan = config.fault_plan.name if config.fault_plan else "none"
+        raise WatchdogTimeout(
+            f"watchdog: no architectural progress for {budget} cycles at "
+            f"t={sim.now} (program {program.name!r}, policy {policy.name!r}, "
+            f"seed {config.seed}, fault plan {plan!r})",
+            stuck=diagnoses(),
+        )
 
 
 def _package_run(

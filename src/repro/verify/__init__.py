@@ -1,5 +1,5 @@
-"""Verification harnesses: contract sweeps, the Section-5.1 monitor, and
-the parallel verification engine."""
+"""Verification harnesses: contract sweeps, the Section-5.1 monitor, the
+parallel verification engine, and the chaos/resilience suite."""
 
 from repro.verify.cache import (
     CacheIntegrityError,
@@ -7,9 +7,21 @@ from repro.verify.cache import (
     SCVerdictCache,
     program_fingerprint,
 )
+from repro.verify.chaos import ChaosReport, PlanOutcome, chaos_sweep
 from repro.verify.conditions import ConditionReport, check_conditions
-from repro.verify.engine import RunSummary, VerificationEngine
+from repro.verify.engine import (
+    Failpoint,
+    InjectedTaskError,
+    RunSummary,
+    VerificationEngine,
+)
 from repro.verify.fuzz import FuzzReport, SeedOutcome, fuzz, fuzz_one_seed
+from repro.verify.journal import (
+    CheckpointJournal,
+    JournalError,
+    JournalState,
+    sweep_signature,
+)
 from repro.verify.sweeps import (
     Definition2Evidence,
     SweepReport,
@@ -19,19 +31,28 @@ from repro.verify.sweeps import (
 
 __all__ = [
     "CacheIntegrityError",
+    "ChaosReport",
+    "CheckpointJournal",
     "ConditionReport",
     "DRF0VerdictCache",
     "Definition2Evidence",
+    "Failpoint",
     "FuzzReport",
+    "InjectedTaskError",
+    "JournalError",
+    "JournalState",
+    "PlanOutcome",
     "RunSummary",
     "SCVerdictCache",
     "SeedOutcome",
     "SweepReport",
     "VerificationEngine",
+    "chaos_sweep",
     "check_conditions",
     "contract_sweep",
     "definition2_sweep",
     "fuzz",
     "fuzz_one_seed",
     "program_fingerprint",
+    "sweep_signature",
 ]

@@ -61,10 +61,16 @@ def _checksum(key: object, verdict: bool) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, for reporting and for asserting reuse in tests."""
+    """Hit/miss counters, for reporting and for asserting reuse in tests.
+
+    ``quarantined`` counts entries that failed their integrity check and
+    were evicted by a quarantining lookup (the hardened engine path) so
+    the verdict was recomputed instead of served or fatally raised.
+    """
 
     hits: int = 0
     misses: int = 0
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -106,15 +112,39 @@ class SCVerdictCache:
         self.stats.hits += 1
         return verdict
 
+    def lookup_or_quarantine(
+        self, program: Program, result: Result
+    ) -> Optional[bool]:
+        """Like :meth:`lookup`, but a corrupted entry is evicted (counted
+        in ``stats.quarantined``) and reported as a miss instead of
+        raising -- the hardened engine recomputes the verdict and the
+        sweep keeps its exact output."""
+        try:
+            return self.lookup(program, result)
+        except CacheIntegrityError:
+            self._entries.pop(self.key(program, result), None)
+            self.stats.quarantined += 1
+            self.stats.misses += 1
+            return None
+
     def store(self, program: Program, result: Result, verdict: bool) -> None:
         """File a verdict (idempotent; later stores overwrite)."""
         key = self.key(program, result)
         self._entries[key] = (bool(verdict), _checksum(key, bool(verdict)))
         self._programs.setdefault(key[0], program)
 
-    def judge(self, program: Program, result: Result) -> bool:
-        """Cached :func:`is_sc_result`: judge once, remember forever."""
-        verdict = self.lookup(program, result)
+    def judge(
+        self, program: Program, result: Result, quarantine: bool = False
+    ) -> bool:
+        """Cached :func:`is_sc_result`: judge once, remember forever.
+
+        With ``quarantine`` a corrupted entry is evicted and re-judged
+        rather than raising :class:`CacheIntegrityError`.
+        """
+        if quarantine:
+            verdict = self.lookup_or_quarantine(program, result)
+        else:
+            verdict = self.lookup(program, result)
         if verdict is None:
             verdict = is_sc_result(program, result)
             self.store(program, result, verdict)
@@ -178,6 +208,18 @@ class DRF0VerdictCache:
             )
         self.stats.hits += 1
         return verdict
+
+    def lookup_or_quarantine(
+        self, program: Program, exhaustive: bool, seeds: Tuple[int, ...] = ()
+    ) -> Optional[bool]:
+        """Quarantining :meth:`lookup`: evict-and-miss on corruption."""
+        try:
+            return self.lookup(program, exhaustive, seeds)
+        except CacheIntegrityError:
+            self._entries.pop(self._key(program, exhaustive, seeds), None)
+            self.stats.quarantined += 1
+            self.stats.misses += 1
+            return None
 
     def store(
         self,

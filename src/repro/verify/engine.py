@@ -29,13 +29,39 @@ copy.  Only small index tuples cross the task queue and only plain result
 records come back -- policy factories (often lambdas) are never pickled.
 On platforms without ``fork`` the engine transparently degrades to the
 in-process path (still memoized, still identical output).
+
+Resilience (this layer's hardening, all preserving the bit-for-bit
+contract because tasks are pure -- re-executing one yields the identical
+value):
+
+* **per-task timeouts** -- a task that exceeds ``task_timeout`` seconds is
+  abandoned and resubmitted (the straggler's late result, if any, is
+  discarded);
+* **worker-crash detection** -- the pool's worker PID set is polled; when
+  a worker dies (segfault, OOM kill), every in-flight task is resubmitted
+  (duplicates are harmless, first completion wins);
+* **bounded retry with backoff** -- each task is retried at most
+  ``max_task_retries`` times with linear backoff;
+* **graceful serial degradation** -- a task that exhausts its retries is
+  executed in the parent process, which always terminates the sweep with
+  the correct output (just without parallelism for that task);
+* **clean interrupt** -- workers ignore SIGINT (the parent owns the
+  Ctrl-C); on any exception the pool is terminated and joined before the
+  exception propagates, so no forked children are orphaned;
+* **checkpoint journal** -- ``definition2_sweep`` can log every completed
+  work unit to a :class:`~repro.verify.journal.CheckpointJournal` and
+  resume after a kill, recomputing only unjournaled units;
+* **cache quarantine** -- verdict-cache entries that fail their integrity
+  checksum are evicted and recomputed instead of aborting the sweep.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
@@ -63,11 +89,58 @@ from repro.verify.cache import (
 )
 from repro.verify.conditions import check_conditions
 from repro.verify.fuzz import FuzzReport, SeedOutcome, fuzz_one_seed, merge_outcomes
+from repro.verify.journal import (
+    CheckpointJournal,
+    JournalError,
+    decode_result,
+    encode_result,
+    sweep_signature,
+)
 from repro.verify.sweeps import (
     Definition2Evidence,
     SweepReport,
     evidence_row,
 )
+
+
+@dataclass(frozen=True)
+class Failpoint:
+    """A test-only fault injected into task execution (chaos testing).
+
+    ``task_kind`` selects which tasks may fire it (``"*"`` = any); ``mode``
+    is ``"crash"`` (the worker dies with ``os._exit``), ``"hang"`` (the
+    worker sleeps past any reasonable timeout), or ``"error"`` (the task
+    raises).  The failpoint fires **once** across all processes -- the
+    first task to claim ``token_path`` (atomic ``O_CREAT|O_EXCL``) fires,
+    everyone else proceeds normally.  Crash/hang/error all fire only in
+    forked workers: the parent process must survive to observe recovery.
+    """
+
+    task_kind: str
+    mode: str
+    token_path: str
+
+
+class InjectedTaskError(RuntimeError):
+    """Raised by an ``error``-mode failpoint (test plumbing)."""
+
+
+def _maybe_fire_failpoint(failpoint: Failpoint) -> None:
+    if multiprocessing.parent_process() is None:
+        return  # only forked workers fire; the parent must survive
+    try:
+        fd = os.open(
+            failpoint.token_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+        )
+    except FileExistsError:
+        return  # already fired elsewhere
+    os.close(fd)
+    if failpoint.mode == "crash":
+        os._exit(17)
+    if failpoint.mode == "hang":
+        time.sleep(3600)
+        return
+    raise InjectedTaskError(f"injected {failpoint.mode} failpoint")
 
 
 @dataclass(frozen=True)
@@ -86,6 +159,29 @@ class RunSummary:
     cycles: int
     stall_cycles: int
     condition_violations: Tuple[str, ...] = ()
+
+
+def _encode_summary(summary: RunSummary) -> dict:
+    """JSON-safe form of a RunSummary for the checkpoint journal."""
+    return {
+        "seed": summary.seed,
+        "policy": summary.policy_name,
+        "result": encode_result(summary.result),
+        "cycles": summary.cycles,
+        "stalls": summary.stall_cycles,
+        "viol": list(summary.condition_violations),
+    }
+
+
+def _decode_summary(data: dict) -> RunSummary:
+    return RunSummary(
+        seed=data["seed"],
+        policy_name=data["policy"],
+        result=decode_result(data["result"]),
+        cycles=data["cycles"],
+        stall_cycles=data["stalls"],
+        condition_violations=tuple(data["viol"]),
+    )
 
 
 @dataclass(frozen=True)
@@ -113,6 +209,7 @@ class _TaskContext:
     generator: Optional[GeneratorConfig] = None
     fuzz_hardware_seeds: Tuple[int, ...] = ()
     check_cross_enumerators: bool = True
+    failpoints: Tuple[Failpoint, ...] = ()
 
 
 #: Published by the parent immediately before forking the pool; workers
@@ -157,11 +254,24 @@ def _memoized_judge(program: Program, result: Result) -> bool:
     return verdict
 
 
+def _worker_init() -> None:
+    """Pool-worker initializer: the parent owns Ctrl-C.
+
+    Without this, a terminal SIGINT reaches every pool worker too; they
+    die mid-task and the parent's cleanup races their corpses.  Workers
+    ignore SIGINT and rely on the parent's terminate/join.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
 def _execute_task(task: tuple):
     """Worker dispatch: map one task tuple to its (picklable) value."""
     ctx = _TASK_CONTEXT
     assert ctx is not None, "task executed outside an engine session"
     kind = task[0]
+    for failpoint in ctx.failpoints:
+        if failpoint.task_kind in ("*", kind):
+            _maybe_fire_failpoint(failpoint)
     if kind == "run":
         _, cell_index, seeds = task
         cell = ctx.cells[cell_index]
@@ -198,15 +308,39 @@ def _now_us() -> int:
     return time.perf_counter_ns() // 1_000
 
 
+#: Sentinel marking a task slot whose value has not been produced yet.
+_UNSET = object()
+
+
 class _Session:
     """One engine call's dispatch surface: a pool, or the calling process."""
 
     def __init__(self, pool, engine: Optional["VerificationEngine"] = None) -> None:
         self._pool = pool
         self._engine = engine
+        self._worker_pids: Set[int] = self._pool_pids()
+        #: Async handles abandoned without a result (crashed or timed-out
+        #: workers).  Each leaves a permanent entry in the pool's result
+        #: cache, and ``Pool.close``+``join`` waits for that cache to
+        #: drain -- so a session with abandoned handles must be torn down
+        #: with ``terminate`` instead.
+        self.abandoned_handles = 0
 
-    def map(self, tasks: Sequence[tuple]) -> list:
-        """Evaluate tasks, returning values in task order."""
+    def _pool_pids(self) -> Set[int]:
+        workers = getattr(self._pool, "_pool", None) or ()
+        return {worker.pid for worker in workers}
+
+    def map(
+        self,
+        tasks: Sequence[tuple],
+        on_result: Optional[Callable[[int, tuple, object], None]] = None,
+    ) -> list:
+        """Evaluate tasks, returning values in task order.
+
+        ``on_result(index, task, value)`` fires once per task as its value
+        lands (checkpoint journaling hook); completion order is arbitrary
+        under a pool, but the returned list is always in task order.
+        """
         if not tasks:
             return []
         engine = self._engine
@@ -215,9 +349,14 @@ class _Session:
         )
         start = _now_us() if observed else 0
         if self._pool is None:
-            values = [_execute_task(task) for task in tasks]
+            values = []
+            for index, task in enumerate(tasks):
+                value = _execute_task(task)
+                if on_result is not None:
+                    on_result(index, task, value)
+                values.append(value)
         else:
-            values = self._pool.map(_execute_task, tasks, chunksize=1)
+            values = self._map_resilient(tasks, on_result)
         if observed:
             counts: Dict[str, int] = {}
             for task in tasks:
@@ -231,6 +370,111 @@ class _Session:
                     args={"tasks": len(tasks), **counts},
                 )
         return values
+
+    def _map_resilient(
+        self,
+        tasks: Sequence[tuple],
+        on_result: Optional[Callable[[int, tuple, object], None]],
+    ) -> list:
+        """Pooled evaluation that survives slow, crashed, and lying workers.
+
+        At most ``jobs`` tasks are in flight at a time (so a per-task
+        timeout measures actual execution, not queueing).  A task is
+        resubmitted when it times out, when its worker raises, or when any
+        pool worker dies while it is in flight (we cannot know which task
+        the dead worker held, so all in-flight tasks are resubmitted --
+        tasks are pure, duplicates are free apart from the wasted work and
+        the first completion wins).  A task that exhausts
+        ``max_task_retries`` resubmissions is executed in the parent: the
+        sweep always terminates with the exact serial output.
+        """
+        engine = self._engine
+        timeout = engine.task_timeout if engine is not None else None
+        max_retries = engine.max_task_retries if engine is not None else 2
+        backoff = engine.retry_backoff if engine is not None else 0.05
+        jobs = engine.jobs if engine is not None else (os.cpu_count() or 1)
+        counters = engine.resilience if engine is not None else {}
+
+        def bump(key: str, n: int = 1) -> None:
+            counters[key] = counters.get(key, 0) + n
+
+        results: List[object] = [_UNSET] * len(tasks)
+        ready = deque(range(len(tasks)))
+        attempts: Dict[int, int] = {}
+        inflight: Dict[int, Tuple[object, float]] = {}
+
+        def finish(index: int, value: object) -> None:
+            results[index] = value
+            if on_result is not None:
+                on_result(index, tasks[index], value)
+
+        def resubmit_or_degrade(index: int) -> None:
+            attempts[index] = attempts.get(index, 0) + 1
+            if attempts[index] > max_retries:
+                bump("degraded_to_serial")
+                finish(index, _execute_task(tasks[index]))
+                return
+            bump("tasks_retried")
+            if backoff:
+                time.sleep(backoff * attempts[index])
+            ready.append(index)
+
+        while ready or inflight:
+            while ready and len(inflight) < jobs:
+                index = ready.popleft()
+                if results[index] is not _UNSET:
+                    continue  # a duplicate submission already completed it
+                try:
+                    handle = self._pool.apply_async(
+                        _execute_task, (tasks[index],)
+                    )
+                except Exception:
+                    # The pool itself is unusable; finish in-process.
+                    bump("degraded_to_serial")
+                    finish(index, _execute_task(tasks[index]))
+                    continue
+                inflight[index] = (handle, time.monotonic())
+            if not inflight:
+                continue
+
+            # Wait briefly on one handle, then scan them all.
+            next(iter(inflight.values()))[0].wait(0.02)
+
+            pids = self._pool_pids()
+            workers_died = bool(self._worker_pids - pids) if pids else False
+            if pids:
+                self._worker_pids = pids
+
+            for index in list(inflight):
+                handle, submitted = inflight[index]
+                if handle.ready():
+                    del inflight[index]
+                    if results[index] is not _UNSET:
+                        continue  # a duplicate already delivered this value
+                    try:
+                        value = handle.get()
+                    except Exception:
+                        bump("task_errors")
+                        resubmit_or_degrade(index)
+                    else:
+                        finish(index, value)
+                elif workers_died:
+                    # Some worker died holding an unknown task; resubmit
+                    # every in-flight task (purity makes duplicates safe).
+                    del inflight[index]
+                    self.abandoned_handles += 1
+                    resubmit_or_degrade(index)
+                elif (
+                    timeout is not None
+                    and time.monotonic() - submitted > timeout
+                ):
+                    bump("task_timeouts")
+                    del inflight[index]
+                    self.abandoned_handles += 1
+                    resubmit_or_degrade(index)
+            if workers_died:
+                bump("worker_crashes")
+        return results
 
 
 class VerificationEngine:
@@ -253,6 +497,15 @@ class VerificationEngine:
         metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
             accumulating task counts; :meth:`metrics_snapshot` adds cache
             and explorer counters on demand.
+        task_timeout: Seconds before an in-flight pooled task is abandoned
+            and resubmitted (None = wait forever, the pre-hardening
+            behavior).
+        max_task_retries: Resubmissions per task (timeout, crash, or
+            error) before the task is executed in the parent process.
+        retry_backoff: Base seconds of linear backoff between
+            resubmissions of the same task.
+        failpoints: Test-only :class:`Failpoint` injections, fired inside
+            workers (chaos tests for the resilience machinery).
     """
 
     def __init__(
@@ -263,11 +516,22 @@ class VerificationEngine:
         drf0_cache: Optional[DRF0VerdictCache] = None,
         tracer=None,
         metrics=None,
+        task_timeout: Optional[float] = None,
+        max_task_retries: int = 2,
+        retry_backoff: float = 0.05,
+        failpoints: Sequence[Failpoint] = (),
     ) -> None:
         if not jobs:
             jobs = os.cpu_count() or 1
         self.jobs = max(1, int(jobs))
         self.seed_chunk = seed_chunk
+        self.task_timeout = task_timeout
+        self.max_task_retries = max(0, int(max_task_retries))
+        self.retry_backoff = retry_backoff
+        self.failpoints = tuple(failpoints)
+        #: Resilience counters: tasks_retried, task_timeouts, task_errors,
+        #: worker_crashes, degraded_to_serial (absent until first event).
+        self.resilience: Dict[str, int] = {}
         self.sc_cache = sc_cache if sc_cache is not None else SCVerdictCache()
         self.drf0_cache = (
             drf0_cache if drf0_cache is not None else DRF0VerdictCache()
@@ -297,13 +561,19 @@ class VerificationEngine:
     def _session(self, context: _TaskContext):
         global _TASK_CONTEXT
         previous = _TASK_CONTEXT
+        if self.failpoints and not context.failpoints:
+            context.failpoints = self.failpoints
         _TASK_CONTEXT = context
         pool = None
         session_start = _now_us() if self.tracer.enabled else 0
+        session = None
         try:
             if self.jobs > 1 and self.can_fork:
-                pool = multiprocessing.get_context("fork").Pool(self.jobs)
-            yield _Session(pool, self)
+                pool = multiprocessing.get_context("fork").Pool(
+                    self.jobs, initializer=_worker_init
+                )
+            session = _Session(pool, self)
+            yield session
         except BaseException:
             if pool is not None:
                 pool.terminate()  # don't drain queued work after a failure
@@ -313,7 +583,13 @@ class VerificationEngine:
         finally:
             pooled = pool is not None
             if pool is not None:
-                pool.close()
+                if session is not None and session.abandoned_handles:
+                    # Abandoned handles never resolve, so close+join would
+                    # wait forever on the pool's result cache; every task
+                    # value is already in hand, so hard-stop the workers.
+                    pool.terminate()
+                else:
+                    pool.close()
                 pool.join()
             _TASK_CONTEXT = previous
             if self.tracer.enabled:
@@ -328,6 +604,21 @@ class VerificationEngine:
         size = self.seed_chunk or max(1, -(-len(seeds) // (self.jobs * 4)))
         return [
             tuple(seeds[i : i + size]) for i in range(0, len(seeds), size)
+        ]
+
+    def _position_chunks(
+        self, positions: Sequence[int]
+    ) -> List[Tuple[int, ...]]:
+        """Chunk arbitrary seed *positions* (the resume path runs only the
+        positions a journal is missing, which need not be contiguous)."""
+        if not positions:
+            return []
+        size = self.seed_chunk or max(
+            1, -(-len(positions) // (self.jobs * 4))
+        )
+        return [
+            tuple(positions[i : i + size])
+            for i in range(0, len(positions), size)
         ]
 
     def _run_cells(
@@ -354,6 +645,7 @@ class VerificationEngine:
         session: _Session,
         cells: Sequence[_SweepCell],
         per_cell: Sequence[Sequence[RunSummary]],
+        journal: Optional[CheckpointJournal] = None,
     ) -> None:
         """Judge every not-yet-cached distinct result, once, possibly in
         parallel, and file the verdicts in :attr:`sc_cache`."""
@@ -366,14 +658,22 @@ class VerificationEngine:
                 if key in claimed:
                     continue
                 claimed.add(key)
-                if self.sc_cache.lookup(program, summary.result) is None:
+                if (
+                    self.sc_cache.lookup_or_quarantine(program, summary.result)
+                    is None
+                ):
                     pending.append((cell_index, summary.result))
         values = session.map(
             [("judge", cell_index, result) for cell_index, result in pending]
         )
         for (cell_index, result), (verdict, stats) in zip(pending, values):
             self.explorer_stats.merge(stats)
-            self.sc_cache.store(cells[cell_index].program, result, verdict)
+            program = cells[cell_index].program
+            self.sc_cache.store(program, result, verdict)
+            if journal is not None:
+                journal.record_judgment(
+                    program_fingerprint(program), result, verdict
+                )
 
     def _assemble_sweep(
         self,
@@ -392,7 +692,9 @@ class VerificationEngine:
             if summary.result in seen:
                 continue
             seen.add(summary.result)
-            if not self.sc_cache.judge(cell.program, summary.result):
+            if not self.sc_cache.judge(
+                cell.program, summary.result, quarantine=True
+            ):
                 non_sc.append(summary.result)
         if summaries:
             policy_name = summaries[0].policy_name
@@ -454,8 +756,19 @@ class VerificationEngine:
         drf0_seeds: Sequence[int] = range(30),
         exhaustive_drf0: bool = False,
         check_51_conditions: bool = False,
+        journal_path: Optional[str] = None,
+        resume: bool = False,
     ) -> Definition2Evidence:
-        """Parallel :func:`repro.verify.sweeps.definition2_sweep`."""
+        """Parallel :func:`repro.verify.sweeps.definition2_sweep`.
+
+        With ``journal_path``, every completed unit of work (hardware run,
+        DRF0 verdict, SC judgment) is appended to a checkpoint journal as
+        it lands; with ``resume`` the journal is loaded first and only the
+        units it is missing are recomputed.  The output is bit-identical
+        either way -- the journal changes how results are *obtained*, never
+        what they are.  Resuming against a journal whose signature does not
+        match this sweep's inputs raises :class:`JournalError`.
+        """
         config = config or SystemConfig()
         programs = list(programs)
         seeds = list(seeds)
@@ -465,41 +778,137 @@ class VerificationEngine:
             for program in programs
             for factory in policy_factories.values()
         ]
+
+        journal: Optional[CheckpointJournal] = None
+        journaled_runs: Dict[Tuple[int, int], RunSummary] = {}
+        if journal_path is not None:
+            signature = sweep_signature(
+                [program_fingerprint(p) for p in programs],
+                tuple(policy_factories),
+                repr(config),
+                seeds,
+                drf0_tuple,
+                exhaustive_drf0,
+                check_51_conditions,
+            )
+            if resume:
+                state = CheckpointJournal.load(journal_path)
+                if state.signature is None:
+                    raise JournalError(
+                        f"cannot resume: no usable journal at {journal_path}"
+                    )
+                if state.signature != signature:
+                    raise JournalError(
+                        "journal signature does not match this sweep's "
+                        "inputs (different programs, policies, config, or "
+                        "seeds) -- refusing to splice foreign results"
+                    )
+                fp_to_program = {
+                    program_fingerprint(p): p for p in programs
+                }
+                for (fp, result), verdict in state.judgments.items():
+                    program = fp_to_program.get(fp)
+                    if program is not None:
+                        self.sc_cache.store(program, result, verdict)
+                for index, verdict in state.drf0.items():
+                    if 0 <= index < len(programs):
+                        self.drf0_cache.store(
+                            programs[index],
+                            exhaustive_drf0,
+                            drf0_tuple,
+                            verdict,
+                        )
+                for (cell_index, pos), summary in state.runs.items():
+                    if 0 <= cell_index < len(cells) and 0 <= pos < len(seeds):
+                        try:
+                            journaled_runs[(cell_index, pos)] = (
+                                _decode_summary(summary)
+                            )
+                        except (KeyError, TypeError):
+                            pass  # malformed payload: recompute this unit
+                self.resilience["journal_units_reused"] = (
+                    self.resilience.get("journal_units_reused", 0)
+                    + state.units
+                )
+            journal = CheckpointJournal(journal_path)
+            journal.open(signature, fresh=not resume)
+
         context = _TaskContext(
             cells=tuple(cells),
             programs=tuple(programs),
             exhaustive_drf0=exhaustive_drf0,
             drf0_seeds=drf0_tuple,
         )
-        with self._session(context) as session:
-            drf0_pending = [
-                index
-                for index, program in enumerate(programs)
-                if self.drf0_cache.lookup(program, exhaustive_drf0, drf0_tuple)
-                is None
-            ]
-            chunks = self._seed_chunks(seeds)
-            run_tasks = [
-                ("run", cell_index, chunk)
-                for cell_index in range(len(cells))
-                for chunk in chunks
-            ]
-            drf0_tasks = [("drf0", index) for index in drf0_pending]
-            values = session.map(drf0_tasks + run_tasks)
-            for index, (verdict, stats) in zip(
-                drf0_pending, values[: len(drf0_tasks)]
-            ):
-                if stats is not None:
-                    self.explorer_stats.merge(stats)
-                self.drf0_cache.store(
-                    programs[index], exhaustive_drf0, drf0_tuple, verdict
+        try:
+            with self._session(context) as session:
+                drf0_pending = [
+                    index
+                    for index, program in enumerate(programs)
+                    if self.drf0_cache.lookup_or_quarantine(
+                        program, exhaustive_drf0, drf0_tuple
+                    )
+                    is None
+                ]
+                per_cell: List[List[Optional[RunSummary]]] = [
+                    [None] * len(seeds) for _ in cells
+                ]
+                for (cell_index, pos), summary in journaled_runs.items():
+                    per_cell[cell_index][pos] = summary
+                run_tasks: List[tuple] = []
+                task_positions: List[Tuple[int, Tuple[int, ...]]] = []
+                for cell_index in range(len(cells)):
+                    missing = [
+                        pos
+                        for pos in range(len(seeds))
+                        if per_cell[cell_index][pos] is None
+                    ]
+                    for chunk in self._position_chunks(missing):
+                        run_tasks.append(
+                            (
+                                "run",
+                                cell_index,
+                                tuple(seeds[pos] for pos in chunk),
+                            )
+                        )
+                        task_positions.append((cell_index, chunk))
+                drf0_tasks = [("drf0", index) for index in drf0_pending]
+
+                def on_result(index: int, task: tuple, value: object) -> None:
+                    if journal is None:
+                        return
+                    if task[0] == "drf0":
+                        journal.record_drf0(task[1], value[0])
+                        return
+                    cell_index, positions = task_positions[
+                        index - len(drf0_tasks)
+                    ]
+                    for pos, summary in zip(positions, value):
+                        journal.record_run(
+                            cell_index, pos, _encode_summary(summary)
+                        )
+
+                values = session.map(
+                    drf0_tasks + run_tasks, on_result=on_result
                 )
-            per_cell: List[List[RunSummary]] = [[] for _ in cells]
-            for (_, cell_index, _chunk), summaries in zip(
-                run_tasks, values[len(drf0_tasks) :]
-            ):
-                per_cell[cell_index].extend(summaries)
-            self._judge_new_results(session, cells, per_cell)
+                for index, (verdict, stats) in zip(
+                    drf0_pending, values[: len(drf0_tasks)]
+                ):
+                    if stats is not None:
+                        self.explorer_stats.merge(stats)
+                    self.drf0_cache.store(
+                        programs[index], exhaustive_drf0, drf0_tuple, verdict
+                    )
+                for (cell_index, positions), summaries in zip(
+                    task_positions, values[len(drf0_tasks) :]
+                ):
+                    for pos, summary in zip(positions, summaries):
+                        per_cell[cell_index][pos] = summary
+                self._judge_new_results(
+                    session, cells, per_cell, journal=journal
+                )
+        finally:
+            if journal is not None:
+                journal.close()
 
         evidence = Definition2Evidence()
         cell_index = 0
@@ -558,6 +967,11 @@ class VerificationEngine:
         ):
             registry.counter(f"engine.{name}.hits").value = cache.stats.hits
             registry.counter(f"engine.{name}.misses").value = cache.stats.misses
+            registry.counter(f"engine.{name}.quarantined").value = (
+                cache.stats.quarantined
+            )
+        for name, count in sorted(self.resilience.items()):
+            registry.counter(f"engine.resilience.{name}").value = count
         explorer_metrics(
             self.explorer_stats, registry, prefix="engine.explorer"
         )

@@ -1,0 +1,206 @@
+"""Checkpoint journal: crash-tolerant resume for interrupted sweeps.
+
+A Definition-2 sweep is a pure function of its inputs, so any prefix of
+its work can be replayed from a log instead of recomputed.  The journal
+is an append-only JSONL file:
+
+* line 1 is a ``meta`` record carrying a **signature** -- a content hash
+  of everything the sweep's output depends on (program fingerprints,
+  policy names, the hardware config, the seed lists, the DRF0 mode).
+  ``jobs`` is deliberately excluded: a sweep journaled under ``--jobs 4``
+  resumes correctly under ``--jobs 1`` because the engine's output is
+  independent of parallelism;
+* each subsequent line records one completed unit of work -- a hardware
+  run (keyed by *cell index* and *seed position*, so duplicate seed
+  values cannot collide), a DRF0 program verdict, or an SC-membership
+  judgment -- and is flushed as soon as the unit completes.
+
+Every line carries a truncated SHA-256 checksum of its own payload.  A
+process killed mid-write leaves a partial last line; loading is
+**tolerant**: unparsable or checksum-failing lines are dropped (counted),
+never fatal, so a resumed sweep recomputes exactly the units that did not
+make it to disk.  A journal whose signature does not match the requested
+sweep is refused -- resuming someone else's checkpoint would splice wrong
+results into the output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, IO, List, Optional, Sequence, Tuple
+
+from repro.core.execution import Result
+
+
+class JournalError(RuntimeError):
+    """The journal cannot be used for this sweep (missing / mismatched)."""
+
+
+def _line_checksum(payload: str) -> str:
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def encode_result(result: Result) -> dict:
+    return {
+        "reads": [list(reads) for reads in result.reads],
+        "mem": [list(pair) for pair in result.final_memory],
+    }
+
+
+def decode_result(data: dict) -> Result:
+    return Result(
+        reads=tuple(tuple(reads) for reads in data["reads"]),
+        final_memory=tuple(
+            (loc, value) for loc, value in data["mem"]
+        ),
+    )
+
+
+def sweep_signature(
+    program_fingerprints: Sequence[str],
+    policy_names: Sequence[str],
+    config_repr: str,
+    seeds: Sequence[int],
+    drf0_seeds: Sequence[int],
+    exhaustive_drf0: bool,
+    check_51_conditions: bool,
+) -> str:
+    """Content hash of a sweep's output-determining inputs."""
+    h = hashlib.sha256()
+    h.update(
+        repr(
+            (
+                tuple(program_fingerprints),
+                tuple(policy_names),
+                config_repr,
+                tuple(seeds),
+                tuple(drf0_seeds),
+                bool(exhaustive_drf0),
+                bool(check_51_conditions),
+            )
+        ).encode()
+    )
+    return h.hexdigest()
+
+
+@dataclass
+class JournalState:
+    """Everything recovered from a journal file."""
+
+    signature: Optional[str] = None
+    #: (cell_index, seed_position) -> encoded RunSummary dict.
+    runs: Dict[Tuple[int, int], dict] = field(default_factory=dict)
+    #: program index -> DRF0 verdict.
+    drf0: Dict[int, bool] = field(default_factory=dict)
+    #: (program fingerprint, Result) -> SC verdict.
+    judgments: Dict[Tuple[str, Result], bool] = field(default_factory=dict)
+    #: Lines dropped by the tolerant loader (truncated tail, corruption).
+    dropped_lines: int = 0
+
+    @property
+    def units(self) -> int:
+        """Completed work units recovered."""
+        return len(self.runs) + len(self.drf0) + len(self.judgments)
+
+
+class CheckpointJournal:
+    """Append-only JSONL work log for one sweep invocation."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: Optional[IO[str]] = None
+        self.records_written = 0
+
+    # -- loading -----------------------------------------------------------
+
+    @staticmethod
+    def load(path: str) -> JournalState:
+        """Tolerantly parse ``path`` (missing file = empty state)."""
+        state = JournalState()
+        if not os.path.exists(path):
+            return state
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    checksum = record.pop("c")
+                    payload = json.dumps(record, sort_keys=True)
+                    if checksum != _line_checksum(payload):
+                        raise ValueError("checksum mismatch")
+                    kind = record["kind"]
+                    if kind == "meta":
+                        state.signature = record["signature"]
+                    elif kind == "run":
+                        state.runs[(record["cell"], record["pos"])] = (
+                            record["summary"]
+                        )
+                    elif kind == "drf0":
+                        state.drf0[record["index"]] = record["verdict"]
+                    elif kind == "judge":
+                        result = decode_result(record["result"])
+                        state.judgments[(record["fp"], result)] = (
+                            record["verdict"]
+                        )
+                    else:
+                        raise ValueError(f"unknown record kind {kind!r}")
+                except (ValueError, KeyError, TypeError):
+                    state.dropped_lines += 1
+        return state
+
+    # -- writing -----------------------------------------------------------
+
+    def open(self, signature: str, fresh: bool = False) -> None:
+        """Open for appending; write the meta line when starting fresh."""
+        mode = "w" if fresh or not os.path.exists(self.path) else "a"
+        write_meta = mode == "w"
+        self._fh = open(self.path, mode, encoding="utf-8")
+        if write_meta:
+            self._write({"kind": "meta", "signature": signature})
+
+    def _write(self, record: dict) -> None:
+        assert self._fh is not None, "journal not open"
+        payload = json.dumps(record, sort_keys=True)
+        record["c"] = _line_checksum(payload)
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        self.records_written += 1
+
+    def record_run(self, cell_index: int, pos: int, summary: dict) -> None:
+        """Journal one completed hardware run (encoded RunSummary)."""
+        self._write(
+            {"kind": "run", "cell": cell_index, "pos": pos, "summary": summary}
+        )
+
+    def record_drf0(self, index: int, verdict: bool) -> None:
+        """Journal one DRF0 program verdict."""
+        self._write({"kind": "drf0", "index": index, "verdict": bool(verdict)})
+
+    def record_judgment(
+        self, fingerprint: str, result: Result, verdict: bool
+    ) -> None:
+        """Journal one SC-membership judgment."""
+        self._write(
+            {
+                "kind": "judge",
+                "fp": fingerprint,
+                "result": encode_result(result),
+                "verdict": bool(verdict),
+            }
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,220 @@
+"""Tests for the verification engine's crash tolerance.
+
+The hardened engine makes one promise: whatever goes wrong underneath --
+a worker crashing mid-task, a worker hanging, a task raising, a cache
+entry corrupted, the whole process killed between sweeps -- the sweep's
+output is bit-for-bit what the undisturbed serial engine produces.
+"""
+
+import os
+
+import pytest
+
+from repro.hw import POLICY_FACTORIES
+from repro.litmus.catalog import by_name
+from repro.sim.system import SystemConfig
+from repro.verify import (
+    CheckpointJournal,
+    Failpoint,
+    JournalError,
+    VerificationEngine,
+    sweep_signature,
+)
+
+PROGRAM_NAMES = ("MP+sync", "SB")
+POLICY_NAMES = ("sc", "adve-hill")
+SEEDS = list(range(5))
+
+
+def _programs():
+    return [by_name(name).program for name in PROGRAM_NAMES]
+
+
+def _factories():
+    return {name: POLICY_FACTORIES[name] for name in POLICY_NAMES}
+
+
+def _sweep(engine, **kwargs):
+    return engine.definition2_sweep(
+        _programs(), _factories(), SystemConfig(), seeds=SEEDS, **kwargs
+    )
+
+
+def _rows(evidence):
+    return [tuple(sorted(row.items(), key=lambda kv: kv[0])) for row in
+            [{k: repr(v) for k, v in r.items()} for r in evidence.rows]]
+
+
+@pytest.fixture(scope="module")
+def reference_rows():
+    return _rows(_sweep(VerificationEngine(jobs=1)))
+
+
+pool_available = pytest.mark.skipif(
+    not VerificationEngine(jobs=2).can_fork,
+    reason="fork start method unavailable",
+)
+
+
+@pool_available
+class TestFailpointRecovery:
+    def test_worker_crash_recovers_identically(self, reference_rows, tmp_path):
+        engine = VerificationEngine(
+            jobs=2,
+            failpoints=(Failpoint("run", "crash", str(tmp_path / "t")),),
+            task_timeout=30,
+        )
+        assert _rows(_sweep(engine)) == reference_rows
+        assert (tmp_path / "t").exists()  # the failpoint really fired
+        assert engine.resilience.get("worker_crashes", 0) >= 1
+
+    def test_task_error_recovers_identically(self, reference_rows, tmp_path):
+        engine = VerificationEngine(
+            jobs=2,
+            failpoints=(Failpoint("judge", "error", str(tmp_path / "t")),),
+        )
+        assert _rows(_sweep(engine)) == reference_rows
+        assert engine.resilience.get("task_errors", 0) >= 1
+
+    def test_hung_worker_times_out_and_recovers(
+        self, reference_rows, tmp_path
+    ):
+        engine = VerificationEngine(
+            jobs=2,
+            failpoints=(Failpoint("run", "hang", str(tmp_path / "t")),),
+            task_timeout=1.0,
+        )
+        assert _rows(_sweep(engine)) == reference_rows
+        assert engine.resilience.get("task_timeouts", 0) >= 1
+
+    def test_repeated_failures_degrade_to_serial(self, reference_rows):
+        # max_task_retries=0: the first failure goes straight to the
+        # parent-process fallback, which must still be exact.
+        engine = VerificationEngine(
+            jobs=2,
+            failpoints=(Failpoint("run", "hang", "/nonexistent-dir/t"),),
+            task_timeout=30,
+            max_task_retries=0,
+        )
+        # Token path unopenable -> failpoint never fires; run is clean but
+        # the retry budget of zero must not break the normal path.
+        assert _rows(_sweep(engine)) == reference_rows
+
+
+class TestJournalResume:
+    def test_journal_written_and_complete(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        _sweep(VerificationEngine(jobs=1), journal_path=path)
+        state = CheckpointJournal.load(path)
+        assert state.signature is not None
+        # cells x seeds runs + per-program drf0 verdicts + judgments
+        cells = len(PROGRAM_NAMES) * len(POLICY_NAMES)
+        assert len(state.runs) == cells * len(SEEDS)
+        assert len(state.drf0) == len(PROGRAM_NAMES)
+        assert state.judgments
+        assert state.dropped_lines == 0
+
+    def test_resume_after_truncation_is_identical(
+        self, reference_rows, tmp_path
+    ):
+        path = str(tmp_path / "sweep.jsonl")
+        _sweep(VerificationEngine(jobs=1), journal_path=path)
+        with open(path) as fh:
+            lines = fh.readlines()
+        # Keep the meta line plus a partial prefix, plus a torn tail --
+        # exactly what a SIGKILL mid-write leaves behind.
+        with open(path, "w") as fh:
+            fh.writelines(lines[: len(lines) // 2])
+            fh.write('{"kind": "run", "cell": 0, "pos"')
+        engine = VerificationEngine(jobs=1)
+        evidence = _sweep(engine, journal_path=path, resume=True)
+        assert _rows(evidence) == reference_rows
+        assert engine.resilience["journal_units_reused"] > 0
+
+    def test_resume_skips_journaled_work(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        _sweep(VerificationEngine(jobs=1), journal_path=path)
+        engine = VerificationEngine(jobs=1, metrics=_registry())
+        _sweep(engine, journal_path=path, resume=True)
+        # A fully journaled sweep re-runs no hardware tasks at all.
+        assert engine.metrics.counter("engine.tasks.run").value == 0
+
+    def test_resume_without_journal_refuses(self, tmp_path):
+        engine = VerificationEngine(jobs=1)
+        with pytest.raises(JournalError, match="no usable journal"):
+            _sweep(
+                engine,
+                journal_path=str(tmp_path / "missing.jsonl"),
+                resume=True,
+            )
+
+    def test_resume_with_foreign_signature_refuses(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = CheckpointJournal(path)
+        journal.open(signature="not-this-sweep", fresh=True)
+        journal.close()
+        with pytest.raises(JournalError, match="signature"):
+            _sweep(VerificationEngine(jobs=1), journal_path=path, resume=True)
+
+    def test_signature_ignores_jobs(self):
+        args = (["fp"], ("sc",), "cfg", [1, 2], [3], False, False)
+        assert sweep_signature(*args) == sweep_signature(*args)
+
+    def test_resume_under_different_jobs(self, reference_rows, tmp_path):
+        if not VerificationEngine(jobs=2).can_fork:
+            pytest.skip("fork unavailable")
+        path = str(tmp_path / "sweep.jsonl")
+        _sweep(VerificationEngine(jobs=2), journal_path=path)
+        with open(path) as fh:
+            lines = fh.readlines()
+        with open(path, "w") as fh:
+            fh.writelines(lines[: len(lines) * 2 // 3])
+        evidence = _sweep(
+            VerificationEngine(jobs=1), journal_path=path, resume=True
+        )
+        assert _rows(evidence) == reference_rows
+
+
+class TestCacheQuarantine:
+    def test_poisoned_entry_recomputed_not_fatal(self, reference_rows):
+        engine = VerificationEngine(jobs=1)
+        first = _sweep(engine)
+        assert _rows(first) == reference_rows
+        # Corrupt every cached SC verdict in place (flip the verdict but
+        # keep the stale checksum), then sweep again: the hardened path
+        # must quarantine and recompute, not raise or serve lies.
+        entries = engine.sc_cache._entries
+        for key, (verdict, checksum) in list(entries.items()):
+            entries[key] = (not verdict, checksum)
+        second = _sweep(engine)
+        assert _rows(second) == reference_rows
+        assert engine.sc_cache.stats.quarantined > 0
+
+    def test_quarantine_counter_in_metrics(self):
+        engine = VerificationEngine(jobs=1)
+        _sweep(engine)
+        registry = engine.metrics_snapshot()
+        assert registry.counter("engine.sc_cache.quarantined").value == 0
+
+
+class TestInterruptSafety:
+    def test_session_teardown_on_error(self):
+        # An exception escaping mid-session must terminate the pool and
+        # re-raise; a subsequent engine call must work normally.
+        engine = VerificationEngine(jobs=2)
+        with pytest.raises(RuntimeError, match="boom"):
+            with engine._session(_context()) as _session:
+                raise RuntimeError("boom")
+        assert _rows(_sweep(engine)) == _rows(_sweep(VerificationEngine()))
+
+
+def _registry():
+    from repro.obs import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+def _context():
+    from repro.verify.engine import _TaskContext
+
+    return _TaskContext()
