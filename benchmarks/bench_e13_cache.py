@@ -1,0 +1,173 @@
+"""E13 -- the persistent verdict store: cold vs warm vs shared-worker.
+
+Every verdict in a Definition-2 sweep is a pure function of program
+content, so a second sweep against the same ``--cache-dir`` should pay
+for *none* of it: SC-membership and DRF0 verdicts warm the in-memory
+caches, and stored hardware run summaries fill sweep positions without
+touching the simulator.  This experiment measures that on the E5 grid
+and **fails** unless the warm run is >= 5x faster than the cold run with
+a bit-identical evidence table (the acceptance bar for the store).
+
+Three measurements, all in-process (interpreter startup would otherwise
+drown the small grid):
+
+* **cold** -- serial sweep into an empty cache directory;
+* **warm** -- the same sweep again, same directory, fresh engine;
+* **shared-worker** -- a cold parallel sweep (one worker per CPU) into a
+  fresh directory: workers inherit the warm caches by fork, send new
+  verdicts back with their results, and the parent flushes them to disk
+  mid-run; its verdict table must also be identical.
+
+Output: ``benchmarks/results/E13.txt`` (timing table) and
+``benchmarks/results/E13_cache.json`` (timings + store counters).
+
+Run modes::
+
+    python benchmarks/bench_e13_cache.py            # full E5 grid
+    python benchmarks/bench_e13_cache.py --quick    # CI-sized grid
+    pytest benchmarks/bench_e13_cache.py
+    REPRO_BENCH_QUICK=1 pytest benchmarks/bench_e13_cache.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from conftest import RESULTS_DIR, emit_table
+
+from repro.hw import POLICY_FACTORIES
+from repro.litmus.catalog import by_name
+from repro.sim.system import SystemConfig
+from repro.verify import VerificationEngine
+from repro.workloads import lock_workload
+
+#: The E5 evidence grid (see bench_e5_contract.py / DEFAULT_SWEEP_PROGRAMS).
+FULL_PROGRAMS = ("MP+sync", "SB+sync", "TAS", "lock", "SB")
+QUICK_PROGRAMS = ("MP+sync", "SB+sync", "SB")
+FULL_POLICIES = ("sc", "definition1", "adve-hill", "release-consistency")
+QUICK_POLICIES = ("sc", "adve-hill", "release-consistency")
+
+
+def _programs(names):
+    return [
+        lock_workload(3, 1) if name == "lock" else by_name(name).program
+        for name in names
+    ]
+
+
+def _sweep(programs, factories, seeds, cache_dir, jobs):
+    engine = VerificationEngine(jobs=jobs, cache_dir=cache_dir)
+    start = time.perf_counter()
+    evidence = engine.definition2_sweep(
+        programs, factories, SystemConfig(), seeds=range(seeds)
+    )
+    elapsed = time.perf_counter() - start
+    if engine.store is not None:
+        engine.store.close()
+    return evidence, elapsed, engine
+
+
+def run(quick: bool = False) -> None:
+    names = QUICK_PROGRAMS if quick else FULL_PROGRAMS
+    policy_names = QUICK_POLICIES if quick else FULL_POLICIES
+    seeds = 10 if quick else 15
+    programs = _programs(names)
+    factories = {name: POLICY_FACTORIES[name] for name in policy_names}
+
+    with tempfile.TemporaryDirectory() as scratch:
+        serial_dir = os.path.join(scratch, "serial")
+        parallel_dir = os.path.join(scratch, "parallel")
+
+        reference, _, _ = _sweep(programs, factories, seeds, None, jobs=1)
+        cold, cold_s, cold_engine = _sweep(
+            programs, factories, seeds, serial_dir, jobs=1
+        )
+        warm, warm_s, warm_engine = _sweep(
+            programs, factories, seeds, serial_dir, jobs=1
+        )
+        shared, shared_s, shared_engine = _sweep(
+            programs, factories, seeds, parallel_dir, jobs=0
+        )
+
+        speedup = cold_s / warm_s if warm_s else float("inf")
+        grid = f"{len(programs)}x{len(factories)}x{seeds}"
+        warm_flushed = (
+            warm_engine.store.stats.flushed_sc
+            + warm_engine.store.stats.flushed_runs
+        )
+        rows = [
+            (
+                "cold (serial, empty dir)", "1", f"{cold_s * 1e3:.0f}",
+                "1.0x",
+                f"{cold_engine.store.stats.flushed_sc} SC + "
+                f"{cold_engine.store.stats.flushed_runs} runs flushed",
+            ),
+            (
+                "warm (same dir)", "1", f"{warm_s * 1e3:.0f}",
+                f"{speedup:.1f}x",
+                f"{warm_engine.store.stats.runs_reused} runs reused, "
+                f"{warm_flushed} flushed",
+            ),
+            (
+                "shared-worker (cold, fork pool)", "cpu",
+                f"{shared_s * 1e3:.0f}",
+                f"{cold_s / shared_s:.1f}x" if shared_s else "-",
+                f"{shared_engine.store.stats.flushed_sc} SC flushed "
+                "mid-run by parent",
+            ),
+        ]
+        emit_table(
+            "E13",
+            f"persistent verdict store on the E5 grid ({grid} cells)",
+            ["mode", "jobs", "wall ms", "vs cold", "store activity"],
+            rows,
+            notes=(
+                f"warm speedup {speedup:.1f}x (bar: >= 5x); all verdict "
+                "tables bit-identical"
+            ),
+        )
+
+        RESULTS_DIR.mkdir(exist_ok=True)
+        with open(
+            RESULTS_DIR / "E13_cache.json", "w", encoding="utf-8"
+        ) as fh:
+            json.dump(
+                {
+                    "grid": grid,
+                    "quick": quick,
+                    "cold_s": cold_s,
+                    "warm_s": warm_s,
+                    "shared_worker_s": shared_s,
+                    "warm_speedup": speedup,
+                    "cold_store": cold_engine.store.stats.as_dict(),
+                    "warm_store": warm_engine.store.stats.as_dict(),
+                    "shared_store": shared_engine.store.stats.as_dict(),
+                },
+                fh, indent=2, sort_keys=True,
+            )
+            fh.write("\n")
+
+        assert warm.rows == reference.rows, "store changed a verdict (warm)"
+        assert cold.rows == reference.rows, "store changed a verdict (cold)"
+        assert shared.rows == reference.rows, (
+            "store changed a verdict (parallel)"
+        )
+        assert warm_engine.store.stats.runs_reused > 0, "no run reuse?"
+        assert speedup >= 5.0, (
+            f"warm run only {speedup:.1f}x faster than cold (bar: 5x)"
+        )
+
+
+def test_e13_cache() -> None:
+    run(quick=bool(os.environ.get("REPRO_BENCH_QUICK")))
+
+
+if __name__ == "__main__":
+    run(quick="--quick" in sys.argv[1:])

@@ -19,7 +19,14 @@ Commands:
 * ``chaos`` -- the resilience suite: every delivery-preserving fault plan
   must leave the Definition-2 verdict table untouched, every
   delivery-violating plan must be flagged by the liveness machinery;
+* ``cache DIR {stats,audit,compact}`` -- inspect, re-judge, or compact a
+  persistent verdict store (the directory ``--cache-dir`` writes);
 * ``catalog`` -- list available litmus tests and workloads.
+
+Persistence: ``sweep``, ``fuzz``, and ``chaos`` accept ``--cache-dir DIR``
+-- a content-addressed verdict store shared across runs and processes;
+warm runs skip already-judged verdicts and already-simulated hardware
+runs while producing byte-identical output (see ``docs/caching.md``).
 
 Fault injection: ``simulate`` and ``sweep`` accept ``--faults PLAN``
 (see ``repro chaos`` for the plan names), ``--fault-seed N``, and
@@ -395,7 +402,7 @@ def cmd_sweep(args) -> int:
         registry = MetricsRegistry()
     engine = VerificationEngine(
         jobs=args.jobs, tracer=tracer, metrics=registry,
-        task_timeout=args.task_timeout,
+        task_timeout=args.task_timeout, cache_dir=args.cache_dir,
     )
     try:
         evidence = engine.definition2_sweep(
@@ -421,6 +428,17 @@ def cmd_sweep(args) -> int:
             "reused",
             file=sys.stderr,
         )
+    if engine.store is not None:
+        stats = engine.store.stats
+        print(
+            f"cache {args.cache_dir}: {stats.loaded_sc} SC + "
+            f"{stats.loaded_drf0} DRF0 verdicts loaded, "
+            f"{stats.runs_reused} hardware runs reused, "
+            f"{stats.flushed_sc + stats.flushed_drf0 + stats.flushed_runs} "
+            "new records flushed",
+            file=sys.stderr,
+        )
+        engine.store.close()
     print(
         f"{'program':<14}{'DRF0':<7}{'policy':<22}{'appears-SC':<12}"
         f"{'distinct':<10}{'5.1-viol':<10}{'mean cycles'}"
@@ -625,6 +643,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--journal", metavar="FILE", default=None,
                    help="append every completed work unit to a checkpoint "
                         "journal as the sweep runs")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="persistent verdict store: warm-start from DIR and "
+                        "flush new verdicts/run summaries back (identical "
+                        "output, large speedup on repeat runs)")
     p.add_argument("--resume", action="store_true",
                    help="load the --journal file and recompute only the "
                         "work units it is missing")
@@ -659,6 +681,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (0 = one per CPU); output is "
                         "identical to --jobs 1")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="persistent verdict store shared across runs")
+    p.add_argument("--metrics-json", metavar="FILE", default=None,
+                   help="write engine metrics (incl. aggregated cache hit "
+                        "rates and store counters) as JSON")
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
@@ -675,9 +702,62 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the per-plan sweeps")
     p.add_argument("--report", metavar="FILE", default=None,
                    help="also write the report as JSON")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="persistent verdict store shared by the baseline "
+                        "and every fault plan (and across chaos runs)")
     p.set_defaults(func=cmd_chaos)
 
+    p = sub.add_parser(
+        "cache",
+        help="inspect / audit / compact a persistent verdict store",
+    )
+    p.add_argument("action", choices=["stats", "audit", "compact"])
+    p.add_argument("cache_dir", metavar="DIR",
+                   help="the store directory (what --cache-dir wrote)")
+    p.add_argument("--sample", type=int, default=None, metavar="N",
+                   help="audit: re-judge at most N entries (deterministic "
+                        "stride over the key space; default: all)")
+    p.add_argument("--json", action="store_true",
+                   help="stats: machine-readable output")
+    p.set_defaults(func=cmd_cache)
+
     return parser
+
+
+def cmd_cache(args) -> int:
+    """Maintenance surface for a ``--cache-dir`` verdict store."""
+    import os
+
+    from repro.verify.store import VerdictStore
+
+    if args.action != "stats" and not os.path.isdir(args.cache_dir):
+        raise _usage_error(f"no such cache directory: {args.cache_dir}")
+    store = VerdictStore(args.cache_dir)
+    if args.action == "stats":
+        summary = store.summary()
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            width = max(len(key) for key in summary)
+            for key, value in summary.items():
+                print(f"{key:<{width}}  {value}")
+        return 0
+    if args.action == "compact":
+        segments, records = store.compact()
+        print(
+            f"compacted {segments} segment(s) into 1 "
+            f"({records} live records)"
+        )
+        return 0
+    report = store.audit(sample=args.sample)
+    print(
+        f"audit: {report.checked} entries re-judged against the oracle, "
+        f"{report.unauditable} unauditable, "
+        f"{len(report.disagreements)} disagreement(s)"
+    )
+    for line in report.disagreements[:20]:
+        print(f"  !! {line}")
+    return 0 if report.ok else 1
 
 
 def cmd_chaos(args) -> int:
@@ -692,6 +772,7 @@ def cmd_chaos(args) -> int:
         jobs=args.jobs,
         quick=args.quick,
         progress=lambda message: print(f"  .. {message}", file=sys.stderr),
+        cache_dir=args.cache_dir,
     )
     print(report.render())
     if args.report:
@@ -709,15 +790,29 @@ def cmd_fuzz(args) -> int:
         raise _usage_error(
             f"--jobs must be >= 0 (got {args.jobs}); 0 means one per CPU"
         )
-    engine = VerificationEngine(jobs=args.jobs)
+    registry = None
+    if args.metrics_json:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    engine = VerificationEngine(
+        jobs=args.jobs, metrics=registry, cache_dir=args.cache_dir
+    )
     report = engine.fuzz(range(args.start_seed, args.start_seed + args.programs))
+    stats = engine.sc_cache.stats
     print(
         f"fuzz: {report.programs_run} programs, "
         f"{report.hardware_runs} hardware runs, "
-        f"{len(report.failures)} failures"
+        f"{len(report.failures)} failures "
+        f"(SC memo: {stats.hits} hits / {stats.misses} misses)"
     )
     for failure in report.failures[:10]:
         print(f"  {failure}")
+    if engine.store is not None:
+        engine.store.close()
+    if registry is not None:
+        engine.metrics_snapshot(registry)
+    _write_obs_outputs(args, None, registry)
     return 0 if report.ok else 1
 
 

@@ -209,3 +209,20 @@ def explorer_metrics(
     for name, value in stats.as_dict().items():
         registry.counter(f"{prefix}.{name}").inc(value)
     return registry
+
+
+def store_metrics(
+    stats,
+    registry: Optional[MetricsRegistry] = None,
+    prefix: str = "store",
+) -> MetricsRegistry:
+    """Fold a :class:`~repro.verify.store.StoreStats` into a registry.
+
+    Surfaces the persistent verdict store's load-time counters (records
+    loaded / stale-version skips / torn tails / quarantined segments),
+    flush counters, and warm-reuse counters under ``prefix``.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    for name, value in stats.as_dict().items():
+        registry.counter(f"{prefix}.{name}").inc(value)
+    return registry

@@ -22,6 +22,12 @@ from repro.verify.journal import (
     JournalState,
     sweep_signature,
 )
+from repro.verify.store import (
+    SEMANTICS_VERSION,
+    AuditReport,
+    StoreStats,
+    VerdictStore,
+)
 from repro.verify.sweeps import (
     Definition2Evidence,
     SweepReport,
@@ -30,6 +36,7 @@ from repro.verify.sweeps import (
 )
 
 __all__ = [
+    "AuditReport",
     "CacheIntegrityError",
     "ChaosReport",
     "CheckpointJournal",
@@ -44,8 +51,11 @@ __all__ = [
     "PlanOutcome",
     "RunSummary",
     "SCVerdictCache",
+    "SEMANTICS_VERSION",
     "SeedOutcome",
+    "StoreStats",
     "SweepReport",
+    "VerdictStore",
     "VerificationEngine",
     "chaos_sweep",
     "check_conditions",

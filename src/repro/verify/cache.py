@@ -45,14 +45,25 @@ def program_fingerprint(program: Program) -> str:
     excludes the display name so renamed-but-identical programs share
     cache entries.  Stable across processes (unlike ``hash()``, which is
     salted per interpreter).
+
+    Memoized per instance: a sweep looks the same program up once per
+    (seed, policy) pair, and :class:`Program` is frozen, so the hash is
+    computed once and parked on the instance (``object.__setattr__``
+    bypasses the frozen-dataclass guard; fork-inherited copies carry the
+    memo with them).
     """
+    cached = program.__dict__.get("_content_fingerprint")
+    if cached is not None:
+        return cached
     h = hashlib.sha256()
     for code in program.threads:
         h.update(repr(code.instructions).encode())
         h.update(repr(sorted(code.labels.items())).encode())
         h.update(b"\x00")
     h.update(repr(sorted(program.initial_memory.items())).encode())
-    return h.hexdigest()
+    fingerprint = h.hexdigest()
+    object.__setattr__(program, "_content_fingerprint", fingerprint)
+    return fingerprint
 
 
 def _checksum(key: object, verdict: bool) -> str:
@@ -75,6 +86,13 @@ class CacheStats:
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
+
+    def add(self, hits: int = 0, misses: int = 0, quarantined: int = 0) -> None:
+        """Fold in counters observed elsewhere (worker-process memos
+        report their per-task deltas back to the parent through this)."""
+        self.hits += hits
+        self.misses += misses
+        self.quarantined += quarantined
 
 
 class SCVerdictCache:
@@ -132,6 +150,37 @@ class SCVerdictCache:
         key = self.key(program, result)
         self._entries[key] = (bool(verdict), _checksum(key, bool(verdict)))
         self._programs.setdefault(key[0], program)
+
+    def store_by_fingerprint(
+        self,
+        fingerprint: str,
+        result: Result,
+        verdict: bool,
+        program: Optional[Program] = None,
+    ) -> None:
+        """File a verdict under an already-computed content key.
+
+        This is how verdicts computed *elsewhere* -- a worker process, a
+        persistent store segment -- enter the cache without the original
+        :class:`Program` object in hand.  ``program``, when available,
+        is registered so :meth:`audit` can re-derive the entry.
+        """
+        key = (fingerprint, result)
+        self._entries[key] = (bool(verdict), _checksum(key, bool(verdict)))
+        if program is not None:
+            self._programs.setdefault(fingerprint, program)
+
+    def entries(self) -> List[Tuple[str, Result, bool]]:
+        """Every (fingerprint, result, verdict) currently cached, in
+        insertion order (used to warm worker memos and flush to disk)."""
+        return [
+            (fingerprint, result, verdict)
+            for (fingerprint, result), (verdict, _) in self._entries.items()
+        ]
+
+    def program_for(self, fingerprint: str) -> Optional[Program]:
+        """The program registered for ``fingerprint``, if any."""
+        return self._programs.get(fingerprint)
 
     def judge(
         self, program: Program, result: Result, quarantine: bool = False
@@ -230,3 +279,21 @@ class DRF0VerdictCache:
     ) -> None:
         key = self._key(program, exhaustive, seeds)
         self._entries[key] = (bool(verdict), _checksum(key, bool(verdict)))
+
+    def store_by_key(
+        self, fingerprint: str, mode: object, verdict: bool
+    ) -> None:
+        """File a verdict computed elsewhere (worker / persistent store).
+
+        ``mode`` is the cache's own mode token: ``"exhaustive"`` or
+        ``("sampled", seeds_tuple)``.
+        """
+        key = (fingerprint, mode)
+        self._entries[key] = (bool(verdict), _checksum(key, bool(verdict)))
+
+    def entries(self) -> List[Tuple[str, object, bool]]:
+        """Every (fingerprint, mode, verdict) currently cached."""
+        return [
+            (fingerprint, mode, verdict)
+            for (fingerprint, mode), (verdict, _) in self._entries.items()
+        ]

@@ -214,6 +214,7 @@ def chaos_sweep(
     preserving_plans: Optional[Sequence[str]] = None,
     violating_plans: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    cache_dir: Optional[str] = None,
 ) -> ChaosReport:
     """Run the full chaos suite and return its report.
 
@@ -221,7 +222,12 @@ def chaos_sweep(
     CI-smoke-sized subset.  SC and DRF0 verdict caches are shared across
     all plans: an SC judgment is keyed by (program, result) and is
     fault-plan-independent, so the baseline pays for the oracle and every
-    plan after it mostly re-proves hardware behavior.
+    plan after it mostly re-proves hardware behavior.  ``cache_dir``
+    additionally attaches one shared persistent
+    :class:`~repro.verify.store.VerdictStore`, so a *second* chaos run
+    skips the oracle entirely and reuses per-plan hardware summaries
+    (the run keys include the fault plan via the config repr, so plans
+    never cross-contaminate).
     """
     from repro.hw import POLICY_FACTORIES
     from repro.litmus.catalog import by_name
@@ -247,10 +253,16 @@ def chaos_sweep(
 
     sc_cache = SCVerdictCache()
     drf0_cache = DRF0VerdictCache()
+    store = None
+    if cache_dir is not None:
+        from repro.verify.store import VerdictStore
+
+        store = VerdictStore(cache_dir)
+        store.load()
 
     def engine() -> VerificationEngine:
         return VerificationEngine(
-            jobs=jobs, sc_cache=sc_cache, drf0_cache=drf0_cache
+            jobs=jobs, sc_cache=sc_cache, drf0_cache=drf0_cache, store=store
         )
 
     say("baseline sweep (no faults)")
@@ -320,6 +332,8 @@ def chaos_sweep(
                         outcome.completed += 1
         report.outcomes.append(outcome)
 
+    if store is not None:
+        store.close()
     return report
 
 

@@ -53,6 +53,26 @@ value):
   resume after a kill, recomputing only unjournaled units;
 * **cache quarantine** -- verdict-cache entries that fail their integrity
   checksum are evicted and recomputed instead of aborting the sweep.
+
+Persistence (``store`` / ``cache_dir``): with a
+:class:`~repro.verify.store.VerdictStore` attached, the engine is warm
+across processes and across runs, three ways:
+
+* **warm start** -- the store's segments are loaded into the in-memory
+  verdict caches at construction, *before* any fork, so every worker
+  inherits the whole known verdict universe by address-space copy;
+  sweep cells whose run summaries are stored are not re-run at all;
+* **cross-worker sharing** -- workers return newly computed verdicts
+  (with their cost metadata) alongside task results; the parent merges
+  them into the shared caches as each task lands and flushes them to
+  disk immediately, so a verdict computed once is on disk before the
+  sweep ends (and available to every later engine in the same process
+  or any concurrent process flushing into the same directory);
+* **cost-aware scheduling** -- stored per-cell cost observations (wall
+  time, run count, explored states) sort the next sweep's dispatch
+  longest-expected-first with finer chunking for expensive cells,
+  cutting tail latency on skewed grids.  Scheduling never changes any
+  output -- the parent folds results in serial order regardless.
 """
 
 from __future__ import annotations
@@ -96,6 +116,7 @@ from repro.verify.journal import (
     encode_result,
     sweep_signature,
 )
+from repro.verify.store import VerdictStore, cell_key, run_key
 from repro.verify.sweeps import (
     Definition2Evidence,
     SweepReport,
@@ -245,13 +266,59 @@ def _run_one(cell: _SweepCell, seed: int) -> RunSummary:
     )
 
 
-def _memoized_judge(program: Program, result: Result) -> bool:
-    key = (program_fingerprint(program), result)
-    verdict = _WORKER_SC_MEMO.get(key)
-    if verdict is None:
-        verdict = is_sc_result(program, result)
-        _WORKER_SC_MEMO[key] = verdict
-    return verdict
+@dataclass
+class NewVerdict:
+    """One SC judgment a fuzz task computed (was not in its memo).
+
+    Shipped back to the parent so sibling workers' work is merged into
+    the shared caches and flushed to the persistent store: content key,
+    verdict, the program body (kept so the stored entry is auditable),
+    and the explorer cost of deriving it.
+    """
+
+    fingerprint: str
+    result: Result
+    verdict: bool
+    program: Program
+    states: int = 0
+
+
+def _fuzz_task(seed: int, ctx: "_TaskContext"):
+    """One fuzz seed with a counting, recording memoized judge.
+
+    Returns ``(outcome, new_verdicts, (hits, misses))``.  The memo is
+    the worker-process-local ``_WORKER_SC_MEMO`` -- warmed from the
+    parent's cache before the fork -- and the hit/miss delta is the
+    worker's own truth, reported back so the parent's aggregate stats
+    stay accurate under ``--jobs > 1``.
+    """
+    new_verdicts: List[NewVerdict] = []
+    hits = misses = 0
+
+    def judge(program: Program, result: Result) -> bool:
+        nonlocal hits, misses
+        key = (program_fingerprint(program), result)
+        verdict = _WORKER_SC_MEMO.get(key)
+        if verdict is None:
+            misses += 1
+            stats = ExplorerStats()
+            verdict = is_sc_result(program, result, stats=stats)
+            _WORKER_SC_MEMO[key] = verdict
+            new_verdicts.append(
+                NewVerdict(key[0], result, verdict, program, stats.states)
+            )
+        else:
+            hits += 1
+        return verdict
+
+    outcome = fuzz_one_seed(
+        seed,
+        ctx.generator,
+        ctx.fuzz_hardware_seeds,
+        ctx.check_cross_enumerators,
+        judge=judge,
+    )
+    return outcome, new_verdicts, (hits, misses)
 
 
 def _worker_init() -> None:
@@ -293,13 +360,7 @@ def _execute_task(task: tuple):
         return report.obeys, report.stats
     if kind == "fuzz":
         _, seed = task
-        return fuzz_one_seed(
-            seed,
-            ctx.generator,
-            ctx.fuzz_hardware_seeds,
-            ctx.check_cross_enumerators,
-            judge=_memoized_judge,
-        )
+        return _fuzz_task(seed, ctx)
     raise ValueError(f"unknown task kind {kind!r}")
 
 
@@ -325,6 +386,11 @@ class _Session:
         #: drain -- so a session with abandoned handles must be torn down
         #: with ``terminate`` instead.
         self.abandoned_handles = 0
+        #: Wall seconds per task of the last :meth:`map` call, task-order
+        #: aligned (pooled tasks: submit-to-ready of the final attempt,
+        #: so includes ~20ms polling slack -- a scheduling signal, not a
+        #: benchmark).  Feeds the store's cost records.
+        self.task_seconds: List[float] = []
 
     def _pool_pids(self) -> Set[int]:
         workers = getattr(self._pool, "_pool", None) or ()
@@ -348,10 +414,13 @@ class _Session:
             engine.tracer.enabled or engine.metrics is not None
         )
         start = _now_us() if observed else 0
+        self.task_seconds = [0.0] * len(tasks)
         if self._pool is None:
             values = []
             for index, task in enumerate(tasks):
+                task_start = time.perf_counter()
                 value = _execute_task(task)
+                self.task_seconds[index] = time.perf_counter() - task_start
                 if on_result is not None:
                     on_result(index, task, value)
                 values.append(value)
@@ -403,8 +472,11 @@ class _Session:
         attempts: Dict[int, int] = {}
         inflight: Dict[int, Tuple[object, float]] = {}
 
-        def finish(index: int, value: object) -> None:
+        def finish(
+            index: int, value: object, seconds: float = 0.0
+        ) -> None:
             results[index] = value
+            self.task_seconds[index] = seconds
             if on_result is not None:
                 on_result(index, tasks[index], value)
 
@@ -412,7 +484,9 @@ class _Session:
             attempts[index] = attempts.get(index, 0) + 1
             if attempts[index] > max_retries:
                 bump("degraded_to_serial")
-                finish(index, _execute_task(tasks[index]))
+                serial_start = time.perf_counter()
+                value = _execute_task(tasks[index])
+                finish(index, value, time.perf_counter() - serial_start)
                 return
             bump("tasks_retried")
             if backoff:
@@ -431,7 +505,9 @@ class _Session:
                 except Exception:
                     # The pool itself is unusable; finish in-process.
                     bump("degraded_to_serial")
-                    finish(index, _execute_task(tasks[index]))
+                    serial_start = time.perf_counter()
+                    value = _execute_task(tasks[index])
+                    finish(index, value, time.perf_counter() - serial_start)
                     continue
                 inflight[index] = (handle, time.monotonic())
             if not inflight:
@@ -457,7 +533,7 @@ class _Session:
                         bump("task_errors")
                         resubmit_or_degrade(index)
                     else:
-                        finish(index, value)
+                        finish(index, value, time.monotonic() - submitted)
                 elif workers_died:
                     # Some worker died holding an unknown task; resubmit
                     # every in-flight task (purity makes duplicates safe).
@@ -506,6 +582,13 @@ class VerificationEngine:
             resubmissions of the same task.
         failpoints: Test-only :class:`Failpoint` injections, fired inside
             workers (chaos tests for the resilience machinery).
+        store: Persistent :class:`~repro.verify.store.VerdictStore`; its
+            segments are loaded into the verdict caches at construction
+            (warm start, inherited by every forked worker) and every new
+            verdict / run summary / cost observation is flushed back as
+            it is computed.
+        cache_dir: Convenience: build a :class:`VerdictStore` on this
+            directory (ignored when ``store`` is given).
     """
 
     def __init__(
@@ -520,6 +603,8 @@ class VerificationEngine:
         max_task_retries: int = 2,
         retry_backoff: float = 0.05,
         failpoints: Sequence[Failpoint] = (),
+        store: Optional[VerdictStore] = None,
+        cache_dir: Optional[str] = None,
     ) -> None:
         if not jobs:
             jobs = os.cpu_count() or 1
@@ -547,6 +632,29 @@ class VerificationEngine:
         #: DRF0 verdicts).  Cache hits add nothing -- the counters measure
         #: work actually done, which is what the benchmarks report.
         self.explorer_stats = ExplorerStats()
+        if store is None and cache_dir is not None:
+            store = VerdictStore(cache_dir)
+        self.store = store
+        if self.store is not None:
+            self._warm_from_store()
+
+    def _warm_from_store(self) -> None:
+        """Load every stored verdict into the in-memory caches.
+
+        Runs at construction, before any fork, so workers inherit the
+        warm caches by address-space copy.  Stored run summaries stay in
+        the store's state and are consumed per sweep cell.
+        """
+        state = self.store.warm()
+        for (fingerprint, result), verdict in state.sc.items():
+            self.sc_cache.store_by_fingerprint(
+                fingerprint,
+                result,
+                verdict,
+                program=state.programs.get(fingerprint),
+            )
+        for (fingerprint, mode), verdict in state.drf0.items():
+            self.drf0_cache.store_by_key(fingerprint, mode, verdict)
 
     # ------------------------------------------------------------------
     # Dispatch plumbing
@@ -621,6 +729,149 @@ class VerificationEngine:
             for i in range(0, len(positions), size)
         ]
 
+    # ------------------------------------------------------------------
+    # Persistent-store plumbing (all no-ops without a store)
+    # ------------------------------------------------------------------
+
+    def _cell_identities(
+        self, cells: Sequence[_SweepCell]
+    ) -> Optional[List[Tuple[str, str]]]:
+        """(program fingerprint, policy name) per cell -- the store's
+        content identity of a sweep cell.  None without a store (the
+        policy instantiation it costs is only paid on the store path)."""
+        if self.store is None:
+            return None
+        return [
+            (
+                program_fingerprint(cell.program),
+                cell.policy_factory().name,
+            )
+            for cell in cells
+        ]
+
+    def _fill_from_store(
+        self,
+        cells: Sequence[_SweepCell],
+        seeds: Sequence[int],
+        per_cell: List[List[Optional[RunSummary]]],
+        identities: Optional[List[Tuple[str, str]]],
+    ) -> Dict[Tuple[int, int], str]:
+        """Fill sweep positions from stored run summaries.
+
+        Returns the run content key of *every* (cell, position) -- also
+        the ones left unfilled, so newly computed summaries can be
+        flushed under the same keys.
+        """
+        keys: Dict[Tuple[int, int], str] = {}
+        if identities is None:
+            return keys
+        state = self.store.warm()
+        for cell_index, cell in enumerate(cells):
+            fingerprint, policy_name = identities[cell_index]
+            for pos, seed in enumerate(seeds):
+                key = run_key(
+                    fingerprint,
+                    policy_name,
+                    repr(cell.config.with_seed(seed)),
+                    cell.check_51_conditions,
+                )
+                keys[(cell_index, pos)] = key
+                if per_cell[cell_index][pos] is not None:
+                    continue
+                stored = state.runs.get(key)
+                if stored is None:
+                    continue
+                try:
+                    per_cell[cell_index][pos] = _decode_summary(stored)
+                except (KeyError, TypeError):
+                    continue  # malformed payload: recompute this run
+                self.store.stats.runs_reused += 1
+        return keys
+
+    def _plan_run_tasks(
+        self,
+        cells: Sequence[_SweepCell],
+        seeds: Sequence[int],
+        per_cell: Sequence[Sequence[Optional[RunSummary]]],
+        identities: Optional[List[Tuple[str, str]]],
+    ) -> Tuple[List[tuple], List[Tuple[int, Tuple[int, ...]]]]:
+        """Chunked run tasks for every unfilled sweep position.
+
+        Without a store this reproduces the original deterministic plan
+        (cell order, uniform chunks).  With one, cells are dispatched
+        longest-expected-first using stored cost observations, and cells
+        costing more than twice the median per seed get half-size chunks
+        -- stragglers start early and load-balance finely, cutting tail
+        latency on skewed grids.  Only *issue order* changes; the fold
+        order (and so every output) is identical either way.
+        """
+        expected_us: List[float] = []
+        median_us = 0.0
+        if identities is not None:
+            state = self.store.warm()
+            for fingerprint, policy_name in identities:
+                cost = state.costs.get(cell_key(fingerprint, policy_name))
+                expected_us.append(cost.us_per_run if cost else 0.0)
+            known = sorted(us for us in expected_us if us > 0)
+            if known:
+                median_us = known[len(known) // 2]
+        entries: List[Tuple[float, int, Tuple[int, ...]]] = []
+        for cell_index in range(len(cells)):
+            missing = [
+                pos
+                for pos in range(len(seeds))
+                if per_cell[cell_index][pos] is None
+            ]
+            if not missing:
+                continue
+            size = self.seed_chunk or max(
+                1, -(-len(missing) // (self.jobs * 4))
+            )
+            cell_us = expected_us[cell_index] if identities else 0.0
+            if median_us and cell_us > 2 * median_us:
+                size = max(1, size // 2)
+            for i in range(0, len(missing), size):
+                chunk = tuple(missing[i : i + size])
+                entries.append((cell_us * len(chunk), cell_index, chunk))
+        if identities is not None:
+            entries.sort(key=lambda e: (-e[0], e[1], e[2][0]))
+        tasks: List[tuple] = []
+        positions: List[Tuple[int, Tuple[int, ...]]] = []
+        for _, cell_index, chunk in entries:
+            tasks.append(
+                ("run", cell_index, tuple(seeds[pos] for pos in chunk))
+            )
+            positions.append((cell_index, chunk))
+        return tasks, positions
+
+    def _flush_run_costs(
+        self,
+        session: _Session,
+        task_positions: Sequence[Tuple[int, Tuple[int, ...]]],
+        identities: Optional[List[Tuple[str, str]]],
+        offset: int = 0,
+    ) -> None:
+        """Record observed per-cell hardware-run cost into the store.
+
+        ``offset`` skips leading non-run tasks in ``session.task_seconds``
+        (the definition2 map front-loads DRF0 tasks)."""
+        if identities is None or not task_positions:
+            return
+        acc: Dict[int, Tuple[int, int]] = {}
+        for (cell_index, chunk), seconds in zip(
+            task_positions, session.task_seconds[offset:]
+        ):
+            runs, wall_us = acc.get(cell_index, (0, 0))
+            acc[cell_index] = (
+                runs + len(chunk),
+                wall_us + int(seconds * 1_000_000),
+            )
+        for cell_index, (runs, wall_us) in sorted(acc.items()):
+            fingerprint, policy_name = identities[cell_index]
+            self.store.record_cost(
+                cell_key(fingerprint, policy_name), runs, wall_us
+            )
+
     def _run_cells(
         self,
         session: _Session,
@@ -646,9 +897,16 @@ class VerificationEngine:
         cells: Sequence[_SweepCell],
         per_cell: Sequence[Sequence[RunSummary]],
         journal: Optional[CheckpointJournal] = None,
+        identities: Optional[List[Tuple[str, str]]] = None,
     ) -> None:
         """Judge every not-yet-cached distinct result, once, possibly in
-        parallel, and file the verdicts in :attr:`sc_cache`."""
+        parallel, and file the verdicts in :attr:`sc_cache`.
+
+        With a store attached, each verdict is merged into the shared
+        cache and flushed to disk *as it lands* (crash tolerance: a
+        judgment computed is a judgment persisted), and the judging cost
+        is attributed to the observing cell's cost record.
+        """
         pending: List[Tuple[int, Result]] = []
         claimed: Set[Tuple[str, Result]] = set()
         for cell_index, summaries in enumerate(per_cell):
@@ -663,8 +921,24 @@ class VerificationEngine:
                     is None
                 ):
                     pending.append((cell_index, summary.result))
+
+        on_result = None
+        if self.store is not None:
+            def on_result(index: int, task: tuple, value: object) -> None:
+                cell_index, result = pending[index]
+                verdict, _stats = value
+                program = cells[cell_index].program
+                fingerprint = program_fingerprint(program)
+                self.sc_cache.store_by_fingerprint(
+                    fingerprint, result, verdict, program=program
+                )
+                self.store.record_sc(
+                    fingerprint, result, verdict, program=program
+                )
+
         values = session.map(
-            [("judge", cell_index, result) for cell_index, result in pending]
+            [("judge", cell_index, result) for cell_index, result in pending],
+            on_result=on_result,
         )
         for (cell_index, result), (verdict, stats) in zip(pending, values):
             self.explorer_stats.merge(stats)
@@ -673,6 +947,24 @@ class VerificationEngine:
             if journal is not None:
                 journal.record_judgment(
                     program_fingerprint(program), result, verdict
+                )
+        if self.store is not None and identities is not None and pending:
+            acc: Dict[int, Tuple[int, int]] = {}
+            for (cell_index, _result), seconds, (_verdict, stats) in zip(
+                pending, session.task_seconds, values
+            ):
+                wall_us, states = acc.get(cell_index, (0, 0))
+                acc[cell_index] = (
+                    wall_us + int(seconds * 1_000_000),
+                    states + (stats.states if stats is not None else 0),
+                )
+            for cell_index, (wall_us, states) in sorted(acc.items()):
+                fingerprint, policy_name = identities[cell_index]
+                self.store.record_cost(
+                    cell_key(fingerprint, policy_name),
+                    runs=0,
+                    wall_us=wall_us,
+                    states=states,
                 )
 
     def _assemble_sweep(
@@ -742,9 +1034,33 @@ class VerificationEngine:
         config = config or SystemConfig()
         seeds = list(seeds)
         cell = _SweepCell(program, policy_factory, config, check_51_conditions)
+        cells = [cell]
+        identities = self._cell_identities(cells)
+        per_cell: List[List[Optional[RunSummary]]] = [[None] * len(seeds)]
+        run_keys = self._fill_from_store(cells, seeds, per_cell, identities)
         with self._session(_TaskContext(cells=(cell,))) as session:
-            per_cell = self._run_cells(session, [cell], seeds)
-            self._judge_new_results(session, [cell], per_cell)
+            tasks, positions = self._plan_run_tasks(
+                cells, seeds, per_cell, identities
+            )
+
+            on_result = None
+            if self.store is not None:
+                def on_result(index: int, task: tuple, value) -> None:
+                    cell_index, chunk = positions[index]
+                    for pos, summary in zip(chunk, value):
+                        self.store.record_run(
+                            run_keys[(cell_index, pos)],
+                            _encode_summary(summary),
+                        )
+
+            values = session.map(tasks, on_result=on_result)
+            for (cell_index, chunk), summaries in zip(positions, values):
+                for pos, summary in zip(chunk, summaries):
+                    per_cell[cell_index][pos] = summary
+            self._flush_run_costs(session, positions, identities)
+            self._judge_new_results(
+                session, cells, per_cell, identities=identities
+            )
         return self._assemble_sweep(cell, seeds, per_cell[0])
 
     def definition2_sweep(
@@ -833,6 +1149,10 @@ class VerificationEngine:
             journal = CheckpointJournal(journal_path)
             journal.open(signature, fresh=not resume)
 
+        identities = self._cell_identities(cells)
+        drf0_mode: object = (
+            "exhaustive" if exhaustive_drf0 else ("sampled", drf0_tuple)
+        )
         context = _TaskContext(
             cells=tuple(cells),
             programs=tuple(programs),
@@ -854,41 +1174,47 @@ class VerificationEngine:
                 ]
                 for (cell_index, pos), summary in journaled_runs.items():
                     per_cell[cell_index][pos] = summary
-                run_tasks: List[tuple] = []
-                task_positions: List[Tuple[int, Tuple[int, ...]]] = []
-                for cell_index in range(len(cells)):
-                    missing = [
-                        pos
-                        for pos in range(len(seeds))
-                        if per_cell[cell_index][pos] is None
-                    ]
-                    for chunk in self._position_chunks(missing):
-                        run_tasks.append(
-                            (
-                                "run",
-                                cell_index,
-                                tuple(seeds[pos] for pos in chunk),
-                            )
-                        )
-                        task_positions.append((cell_index, chunk))
+                run_keys = self._fill_from_store(
+                    cells, seeds, per_cell, identities
+                )
+                run_tasks, task_positions = self._plan_run_tasks(
+                    cells, seeds, per_cell, identities
+                )
                 drf0_tasks = [("drf0", index) for index in drf0_pending]
 
                 def on_result(index: int, task: tuple, value: object) -> None:
-                    if journal is None:
-                        return
                     if task[0] == "drf0":
-                        journal.record_drf0(task[1], value[0])
+                        verdict = value[0]
+                        if journal is not None:
+                            journal.record_drf0(task[1], verdict)
+                        if self.store is not None:
+                            program = programs[task[1]]
+                            self.store.record_drf0(
+                                program_fingerprint(program),
+                                drf0_mode,
+                                verdict,
+                                program=program,
+                            )
                         return
-                    cell_index, positions = task_positions[
+                    cell_index, chunk = task_positions[
                         index - len(drf0_tasks)
                     ]
-                    for pos, summary in zip(positions, value):
-                        journal.record_run(
-                            cell_index, pos, _encode_summary(summary)
-                        )
+                    for pos, summary in zip(chunk, value):
+                        encoded = _encode_summary(summary)
+                        if journal is not None:
+                            journal.record_run(cell_index, pos, encoded)
+                        if self.store is not None:
+                            self.store.record_run(
+                                run_keys[(cell_index, pos)], encoded
+                            )
 
                 values = session.map(
-                    drf0_tasks + run_tasks, on_result=on_result
+                    drf0_tasks + run_tasks,
+                    on_result=(
+                        on_result
+                        if journal is not None or self.store is not None
+                        else None
+                    ),
                 )
                 for index, (verdict, stats) in zip(
                     drf0_pending, values[: len(drf0_tasks)]
@@ -898,13 +1224,18 @@ class VerificationEngine:
                     self.drf0_cache.store(
                         programs[index], exhaustive_drf0, drf0_tuple, verdict
                     )
-                for (cell_index, positions), summaries in zip(
+                for (cell_index, chunk), summaries in zip(
                     task_positions, values[len(drf0_tasks) :]
                 ):
-                    for pos, summary in zip(positions, summaries):
+                    for pos, summary in zip(chunk, summaries):
                         per_cell[cell_index][pos] = summary
+                self._flush_run_costs(
+                    session, task_positions, identities,
+                    offset=len(drf0_tasks),
+                )
                 self._judge_new_results(
-                    session, cells, per_cell, journal=journal
+                    session, cells, per_cell, journal=journal,
+                    identities=identities,
                 )
         finally:
             if journal is not None:
@@ -930,17 +1261,57 @@ class VerificationEngine:
         hardware_seeds: Sequence[int] = range(3),
         check_cross_enumerators: bool = True,
     ) -> FuzzReport:
-        """Parallel :func:`repro.verify.fuzz.fuzz` (one task per seed)."""
+        """Parallel :func:`repro.verify.fuzz.fuzz` (one task per seed).
+
+        The worker-local SC memo is warmed from the engine's cache (and
+        therefore from the persistent store) *before* the fork; newly
+        computed verdicts ride back with each task's outcome and are
+        merged into the shared cache -- and flushed to the store -- as
+        they land, with the memo's hit/miss deltas folded into the
+        parent's :class:`~repro.verify.cache.CacheStats` so parallel
+        campaigns report true hit rates.
+        """
         seeds = list(seeds)
         context = _TaskContext(
             generator=generator,
             fuzz_hardware_seeds=tuple(hardware_seeds),
             check_cross_enumerators=check_cross_enumerators,
         )
+        # Reset the (module-global, fork-inherited) worker memo to exactly
+        # what this engine's cache knows: leftovers from an earlier
+        # campaign in this process would turn misses into hits and make
+        # the reported hit rate depend on unrelated history.
+        _WORKER_SC_MEMO.clear()
+        for fingerprint, result, verdict in self.sc_cache.entries():
+            _WORKER_SC_MEMO[(fingerprint, result)] = verdict
+
+        def on_result(index: int, task: tuple, value) -> None:
+            _outcome, new_verdicts, (hits, misses) = value
+            self.sc_cache.stats.add(hits=hits, misses=misses)
+            for new in new_verdicts:
+                # Merge sibling workers' judgments into the shared cache
+                # (and the parent's own serial-path memo) mid-run...
+                _WORKER_SC_MEMO.setdefault(
+                    (new.fingerprint, new.result), new.verdict
+                )
+                self.sc_cache.store_by_fingerprint(
+                    new.fingerprint, new.result, new.verdict,
+                    program=new.program,
+                )
+                self.explorer_stats.states += new.states
+                # ... and persist them immediately (duplicates from
+                # sibling workers deduplicate at the store).
+                if self.store is not None:
+                    self.store.record_sc(
+                        new.fingerprint, new.result, new.verdict,
+                        program=new.program,
+                    )
+
         with self._session(context) as session:
-            outcomes: List[SeedOutcome] = session.map(
-                [("fuzz", seed) for seed in seeds]
+            values = session.map(
+                [("fuzz", seed) for seed in seeds], on_result=on_result
             )
+        outcomes: List[SeedOutcome] = [value[0] for value in values]
         return merge_outcomes(outcomes)
 
     # ------------------------------------------------------------------
@@ -952,10 +1323,15 @@ class VerificationEngine:
 
         Includes everything the engine tracks: dispatched task counts (if
         a registry was attached at construction they are already there),
-        verdict-cache hit/miss counters, and the aggregate explorer
-        counters from oracle tasks.
+        verdict-cache hit/miss counters, the persistent store's
+        load/flush/reuse counters (when a store is attached), and the
+        aggregate explorer counters from oracle tasks.
         """
-        from repro.obs.metrics import MetricsRegistry, explorer_metrics
+        from repro.obs.metrics import (
+            MetricsRegistry,
+            explorer_metrics,
+            store_metrics,
+        )
 
         registry = registry if registry is not None else (
             self.metrics if self.metrics is not None else MetricsRegistry()
@@ -972,6 +1348,8 @@ class VerificationEngine:
             )
         for name, count in sorted(self.resilience.items()):
             registry.counter(f"engine.resilience.{name}").value = count
+        if self.store is not None:
+            store_metrics(self.store.stats, registry, prefix="engine.store")
         explorer_metrics(
             self.explorer_stats, registry, prefix="engine.explorer"
         )
