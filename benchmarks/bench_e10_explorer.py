@@ -83,10 +83,27 @@ def _workloads(quick: bool) -> List[Tuple[str, Program]]:
 
 
 def _time(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
-    """Best-of-``repeats`` wall-clock time and the (last) return value."""
-    best = float("inf")
-    value: object = None
-    for _ in range(repeats):
+    """Best-of-``repeats`` wall-clock time and the (last) return value.
+
+    Sub-millisecond rows get a ~100 ms best-of budget instead: at that
+    scale a handful of repeats still sits well above the true floor, and
+    litmus-sized rows are exactly where the small-program regression
+    lived, so their numbers must not be timer noise.
+    """
+    start = time.perf_counter()
+    value: object = fn()
+    best = time.perf_counter() - start
+    if best < 0.05:
+        # Re-measure before choosing the repeat depth: the first call may
+        # have paid one-time per-program costs (closure compilation, meta
+        # caches) that would make a micro-row look big enough to skip the
+        # deep best-of it needs.
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    if best < 0.001:
+        repeats = min(700, int(0.1 / max(best, 1e-6)) + 1)
+    for _ in range(repeats - 1):
         start = time.perf_counter()
         value = fn()
         best = min(best, time.perf_counter() - start)
@@ -132,10 +149,14 @@ def _bench_modes(
     assert legacy_out.complete == new_out.complete
     row("dedup", legacy_s, new_s, new_out.stats)
 
-    # DPOR representative enumeration.
-    stats = ExplorerStats()
+    # DPOR representative enumeration.  Stats are created inside the timed
+    # callable so best-of repeats don't accumulate into one counter.
+    def dpor_with_stats():
+        st = ExplorerStats()
+        return explore_dpor(program, stats=st), st
+
     legacy_s, legacy_execs = _time(lambda: legacy_explore_dpor(program), repeats)
-    new_s, new_execs = _time(lambda: explore_dpor(program, stats=stats), repeats)
+    new_s, (new_execs, stats) = _time(dpor_with_stats, repeats)
     assert {e.result() for e in legacy_execs} == {e.result() for e in new_execs}, (
         f"{name}: DPOR result sets differ"
     )
@@ -153,16 +174,16 @@ def _bench_modes(
 
     # Guided SC-membership search, judged over the program's own SC set.
     results = sorted(sc_results(program), key=repr)[:4]
-    stats = ExplorerStats()
 
     def judge_new():
-        return [is_sc_result(program, r, stats=stats) for r in results]
+        st = ExplorerStats()
+        return [is_sc_result(program, r, stats=st) for r in results], st
 
     def judge_legacy():
         return [legacy_is_sc_result(program, r) for r in results]
 
     legacy_s, legacy_verdicts = _time(judge_legacy, repeats)
-    new_s, new_verdicts = _time(judge_new, repeats)
+    new_s, (new_verdicts, stats) = _time(judge_new, repeats)
     assert legacy_verdicts == new_verdicts == [True] * len(results)
     row("contract", legacy_s, new_s, stats)
     return rows
@@ -189,7 +210,10 @@ def run_benchmark(quick: Optional[bool] = None) -> Dict[str, object]:
     """Run the suite, emit the table + JSON, and apply the regression gate."""
     if quick is None:
         quick = _quick()
-    repeats = 1 if quick else 3
+    # Best-of-2 even in quick mode: the first engine call on a program
+    # pays its one-time closure compilation, which would otherwise be
+    # charged entirely to the first row (naive) of each workload.
+    repeats = 2 if quick else 3
     rows: List[Dict[str, object]] = []
     for name, program in _workloads(quick):
         rows.extend(_bench_modes(name, program, repeats))

@@ -535,6 +535,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Weak Ordering -- A New Definition (ISCA 1990) reproduction",
     )
+    parser.add_argument(
+        "--interpreted-engine", action="store_true",
+        help="run explorers on the interpreted EngineState instead of the "
+             "compiled engine (differential debugging; same answers, slower)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_hw_args(p, single_policy=True):
@@ -818,6 +823,10 @@ def cmd_fuzz(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.interpreted_engine:
+        from repro.core.compile import use_compiled
+
+        use_compiled(False)
     try:
         return args.func(args)
     except KeyboardInterrupt:

@@ -13,6 +13,14 @@ from repro.core.dpor import (
     iter_dpor_executions,
     sc_results_dpor,
 )
+from repro.core.compile import (
+    CompiledEngine,
+    compiled_enabled,
+    compiled_program,
+    interpreted_engine,
+    make_engine,
+    use_compiled,
+)
 from repro.core.engine_state import EngineState, ExplorerStats
 from repro.core.drf0 import (
     DRF0Report,
@@ -51,12 +59,18 @@ __all__ = [
     "DRF0_MODEL",
     "DRF1",
     "DRF1_MODEL",
+    "CompiledEngine",
     "EngineState",
     "Execution",
     "Exploration",
     "ExplorationConfig",
     "ExplorationIncomplete",
     "ExplorerStats",
+    "compiled_enabled",
+    "compiled_program",
+    "interpreted_engine",
+    "make_engine",
+    "use_compiled",
     "Location",
     "OpKind",
     "Operation",

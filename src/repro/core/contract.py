@@ -26,7 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.engine_state import EngineState, ExplorerStats
+from repro.core.compile import make_engine
+from repro.core.engine_state import ExplorerStats
 from repro.core.execution import Result
 from repro.machine.program import Program
 
@@ -60,7 +61,8 @@ def is_sc_result(
         return False
     expected_memory = tuple(sorted(result.final_memory))
 
-    engine = EngineState(program)
+    # The guided search never reads the trace: skip recording it.
+    engine = make_engine(program, record_trace=False)
     visited: Set[object] = set()
     states = 0
 

@@ -67,8 +67,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set
 
+from repro.core.compile import make_engine
 from repro.core.drf0 import DRF0Report, races_in_execution_vc
-from repro.core.engine_state import EngineState, ExplorerStats
+from repro.core.engine_state import ExplorerStats
 from repro.core.execution import Execution, Result
 from repro.core.models import DRF0_MODEL, SynchronizationModel
 from repro.core.ops import Operation
@@ -128,7 +129,9 @@ def _dependent_with_pending(op: Operation, proc: int, request) -> bool:
         return True
     if op.location != request.location:
         return False
-    return op.has_write or request.kind.has_write
+    # op.has_write is a Python-level property; the OpKind member carries
+    # the same flag as a plain attribute.
+    return op.kind.has_write or request.kind.has_write
 
 
 def iter_dpor_executions(
@@ -142,7 +145,7 @@ def iter_dpor_executions(
     generator and the remaining state space is never expanded.
     """
     cfg = config or ExplorationConfig()
-    engine = EngineState(program)
+    engine = make_engine(program)
     tracer = cfg.tracer if (cfg.tracer is not None and cfg.tracer.enabled) else None
     engine.tracer = tracer
     nprocs = program.num_procs
@@ -178,12 +181,17 @@ def iter_dpor_executions(
             deps.extend(
                 r for r in reads_since.get(loc, ()) if r.proc != proc
             )
-        clock = [0] * nprocs
-        for f in deps:
-            fc = f.clock
-            for i in range(nprocs):
-                if fc[i] > clock[i]:
-                    clock[i] = fc[i]
+        # Seed the clock from the first predecessor (the common case is a
+        # single dep) instead of max-merging into a zero vector.
+        if deps:
+            clock = list(deps[0].clock)
+            for f in deps[1:]:
+                fc = f.clock
+                for i in range(nprocs):
+                    if fc[i] > clock[i]:
+                        clock[i] = fc[i]
+        else:
+            clock = [0] * nprocs
         pidx = (po_pred.pidx if po_pred else 0) + 1
         clock[proc] = pidx
         event = _Event(proc, pidx, tuple(clock), loc, has_write, len(events))
@@ -261,7 +269,7 @@ def iter_dpor_executions(
                 )
 
     def explore(sleep: Set[int]) -> Iterator[Execution]:
-        enabled = set(engine.runnable())
+        enabled = engine.runnable()
         if not enabled:
             stats.executions += 1
             if tracer is not None:
@@ -278,7 +286,7 @@ def iter_dpor_executions(
                 f"DPOR execution exceeded {cfg.max_ops} operations; use the "
                 "naive explorer for programs with spin loops"
             )
-        awake = enabled - sleep if use_sleep else enabled
+        awake = [p for p in enabled if p not in sleep] if use_sleep else enabled
         if not awake:
             stats.sleep_cuts += 1
             if tracer is not None:
@@ -297,14 +305,11 @@ def iter_dpor_executions(
         sleeping = set(sleep) if use_sleep else set()
         try:
             while True:
-                choice = next(
-                    (
-                        p
-                        for p in sorted(entry.backtrack)
-                        if p not in entry.done and p not in sleeping
-                    ),
-                    None,
-                )
+                choice = None
+                for p in sorted(entry.backtrack):
+                    if p not in entry.done and p not in sleeping:
+                        choice = p
+                        break
                 if choice is None:
                     break
                 entry.done.add(choice)

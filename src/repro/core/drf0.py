@@ -35,7 +35,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.engine_state import EngineState, ExplorerStats
+from repro.core.compile import make_engine
+from repro.core.engine_state import ExplorerStats
 from repro.core.execution import Execution
 from repro.core.models import DRF0_MODEL, SynchronizationModel
 from repro.core.ops import Operation, conflicts
@@ -215,6 +216,93 @@ def _record_op(op: Operation, clock: _VectorClock, hist: _LocationHistory) -> No
         hist.last_write_op[op.proc] = op
 
 
+class _PathRaceDetector:
+    """The vector-clock detector of :func:`races_in_execution_vc`,
+    maintained *incrementally* along a DFS path.
+
+    :meth:`push` applies one operation exactly the way the batch
+    detector's loop body does (same ``_check_op``/``_record_op`` helpers,
+    same acquire/release joins) after saving the touched state in an undo
+    frame; :meth:`pop` restores it.  At any point the detector state --
+    and in particular :attr:`races` -- is identical to running the batch
+    detector over the current path prefix, so the exhaustive checker
+    race-checks every interleaving in O(1) amortized per *transition*
+    instead of O(depth) per *execution* (shared prefixes are checked
+    once).
+    """
+
+    __slots__ = ("model", "width", "proc_clock", "loc_clock", "history",
+                 "races", "_frames")
+
+    def __init__(self, width: int, model: SynchronizationModel) -> None:
+        self.model = model
+        self.width = width
+        self.proc_clock = [_VectorClock(width) for _ in range(width)]
+        for proc, clock in enumerate(self.proc_clock):
+            clock.times[proc] = 1
+        self.loc_clock: Dict[str, _VectorClock] = {}
+        self.history: Dict[str, _LocationHistory] = {}
+        self.races: List[Race] = []
+        self._frames: List[tuple] = []
+
+    def push(self, op: Operation) -> None:
+        """Apply ``op``; push an undo frame."""
+        model = self.model
+        proc = op.proc
+        clock = self.proc_clock[proc]
+        old_times = clock.times[:]
+        loc = op.location
+        # op.is_sync is a Python-level property; the OpKind member carries
+        # the same flag as a plain attribute.
+        is_sync = op.kind.is_sync
+        loc_frame = None  # None = no sync clock touched
+        if is_sync:
+            lc = self.loc_clock.get(loc)
+            if lc is None:
+                lc = self.loc_clock[loc] = _VectorClock(self.width)
+                loc_frame = (loc, None)  # created now: delete on pop
+            else:
+                loc_frame = (loc, lc.times[:])
+            if model.is_acquire(op):
+                clock.join(lc)
+        hist = self.history.get(loc)
+        if hist is None:
+            hist = self.history[loc] = _LocationHistory(self.width)
+        hist_frame = (
+            hist.last_read_time[proc],
+            hist.last_read_op[proc],
+            hist.last_write_time[proc],
+            hist.last_write_op[proc],
+        )
+        races_len = len(self.races)
+        _check_op(op, clock, hist, model, self.races)
+        _record_op(op, clock, hist)
+        if is_sync and model.is_release(op):
+            self.loc_clock[loc].join(clock)
+        clock.times[proc] += 1
+        self._frames.append((op, old_times, loc_frame, hist_frame, races_len))
+
+    def pop(self) -> None:
+        """Undo the most recent :meth:`push` exactly."""
+        op, old_times, loc_frame, hist_frame, races_len = self._frames.pop()
+        proc = op.proc
+        self.proc_clock[proc].times = old_times
+        if loc_frame is not None:
+            loc, saved = loc_frame
+            if saved is None:
+                del self.loc_clock[loc]
+            else:
+                self.loc_clock[loc].times = saved
+        hist = self.history[op.location]
+        (
+            hist.last_read_time[proc],
+            hist.last_read_op[proc],
+            hist.last_write_time[proc],
+            hist.last_write_op[proc],
+        ) = hist_frame
+        del self.races[races_len:]
+
+
 # ---------------------------------------------------------------------------
 # Whole-program verdicts
 # ---------------------------------------------------------------------------
@@ -253,23 +341,76 @@ def check_program(
     """
     cfg = config or ExplorationConfig(max_ops=400)
     stats = ExplorerStats()
-    checked = 0
-    for execution in _all_interleavings(program, cfg, stats):
-        checked += 1
-        races = races_in_execution_vc(execution, model)
-        if races:
-            return DRF0Report(
-                program=program,
-                model_name=model.name,
-                obeys=False,
-                executions_checked=checked,
-                race=races[0],
-                witness=execution,
-                stats=stats,
+    engine = make_engine(program)
+    if cfg.tracer is not None and cfg.tracer.enabled:
+        engine.tracer = cfg.tracer
+    detector = _PathRaceDetector(program.num_procs, model)
+    races = detector.races
+    on_path: Set[object] = set()
+    track_cycles = not engine.straightline
+
+    # The race check rides the exploration itself: the vector-clock
+    # detector is pushed/popped in lockstep with the engine's step/undo,
+    # so at every leaf ``detector.races`` equals what the batch detector
+    # would report for that execution -- without re-scanning the shared
+    # prefix of sibling interleavings.  DFS order matches
+    # :func:`_all_interleavings` exactly, so verdicts, witnesses, and
+    # stats counts are unchanged.
+    def dfs() -> Optional[DRF0Report]:
+        runnable = engine.runnable()
+        if not runnable:
+            stats.executions += 1
+            if races:
+                return DRF0Report(
+                    program=program,
+                    model_name=model.name,
+                    obeys=False,
+                    executions_checked=stats.executions,
+                    race=races[0],
+                    witness=engine.execution(),
+                    stats=stats,
+                )
+            return None
+        if engine.depth >= cfg.max_ops:
+            if cfg.allow_incomplete:
+                return None
+            raise ExplorationIncomplete(
+                f"interleaving exceeded {cfg.max_ops} operations"
             )
+        key = None
+        if track_cycles:
+            key = engine.config_key()
+            if key in on_path:
+                return None  # livelock cycle: explored from its first visit
+        stats.states += 1
+        if track_cycles:
+            on_path.add(key)
+        try:
+            for proc in runnable:
+                op = engine.step(proc)
+                detector.push(op)
+                try:
+                    report = dfs()
+                    if report is not None:
+                        return report
+                finally:
+                    detector.pop()
+                    engine.undo()
+        finally:
+            if track_cycles:
+                on_path.remove(key)
+        return None
+
+    try:
+        report = dfs()
+    finally:
+        stats.transitions = engine.transitions
+        stats.max_depth = engine.max_depth
+    if report is not None:
+        return report
     return DRF0Report(
         program=program, model_name=model.name, obeys=True,
-        executions_checked=checked, stats=stats,
+        executions_checked=stats.executions, stats=stats,
     )
 
 
@@ -321,7 +462,7 @@ def _all_interleavings(
     consumers that stop early abandon the generator and the rest of the
     tree is never expanded.
     """
-    engine = EngineState(program)
+    engine = make_engine(program)
     if cfg.tracer is not None and cfg.tracer.enabled:
         engine.tracer = cfg.tracer
     stats = stats if stats is not None else ExplorerStats()

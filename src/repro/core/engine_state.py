@@ -33,7 +33,6 @@ states, transitions, undo depth, sleep-set cuts, peak visited-set size.
 from __future__ import annotations
 
 import weakref
-from bisect import insort
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -217,7 +216,6 @@ class EngineState:
         "transitions",
         "max_depth",
         "straightline",
-        "_runnable",
         "_locs",
         "_loc_index",
         "_mem_values",
@@ -252,11 +250,6 @@ class EngineState:
         self.straightline, self._locs, self._loc_index, self._reg_orders = (
             _program_meta(program)
         )
-        #: Sorted processors with a pending request, maintained
-        #: incrementally (a step only ever changes the stepping thread).
-        self._runnable: List[int] = [
-            i for i, t in enumerate(self.threads) if t.pending is not None
-        ]
         self._mem_values: List[Value] = [
             program.initial_memory[loc] for loc in self._locs
         ]
@@ -301,9 +294,18 @@ class EngineState:
     def runnable(self) -> List[int]:
         """Processors with a pending memory request, in processor order.
 
-        Returns a copy; callers iterate it while stepping the engine.
+        Built fresh per call (a scan over ``num_procs`` pending slots);
+        callers iterate it while stepping the engine.  A scan beats the
+        incrementally-maintained sorted list it replaced: maintaining one
+        costs an O(n) ``list.remove`` on every halting step and a sorted
+        re-insert on every undo of one, and those fire once per thread per
+        explored interleaving.
         """
-        return self._runnable.copy()
+        return [
+            proc
+            for proc, thread in enumerate(self.threads)
+            if thread.pending is not None
+        ]
 
     def pending(self, proc: int) -> Optional[MemRequest]:
         """The request processor ``proc`` is blocked on (``None`` = halted)."""
@@ -417,8 +419,6 @@ class EngineState:
         self.po_counts[proc] += 1
         complete(self.program.threads[proc], state, request, value_read)
         _advance(self.program, proc, thread)
-        if thread.pending is None:
-            self._runnable.remove(proc)
         self._thread_keys[proc] = None  # dirty; re-derived on next key read
         self.transitions += 1
         if len(trace) > self.max_depth:
@@ -441,8 +441,6 @@ class EngineState:
         )
         thread = self.threads[proc]
         thread.state.restore(snapshot)
-        if thread.pending is None:  # the step halted the thread; revive it
-            insort(self._runnable, proc)
         thread.pending = request
         self.po_counts[proc] -= 1
         self.trace.pop()
@@ -457,6 +455,34 @@ class EngineState:
                 "engine", "undo", f"T{proc}", self.transitions,
                 args={"depth": len(self.trace)},
             )
+
+    def reset(self) -> None:
+        """Return to the initial configuration, dropping caches and counters.
+
+        Equivalent to constructing a fresh engine: the thread states, the
+        memory, the trace, the read histories, the undo log, and both memo
+        dicts (``_interned``/``_op_cache``) are all restored/cleared, so a
+        long-lived engine reused across explorations cannot retain
+        unbounded state.
+        """
+        program = self.program
+        self.threads = _initial_threads(program)
+        self.po_counts = [0] * program.num_procs
+        self.trace.clear()
+        self.reads = [() for _ in self.threads]
+        self.transitions = 0
+        self.max_depth = 0
+        self._mem_values = [
+            program.initial_memory[loc] for loc in self._locs
+        ]
+        self._log.clear()
+        self._interned.clear()
+        self._op_cache.clear()
+        self._mem_key = self._intern(tuple(self._mem_values))
+        self._thread_keys = [
+            self._intern(self._thread_key(proc))
+            for proc in range(program.num_procs)
+        ]
 
     # ------------------------------------------------------------------
     # Leaves

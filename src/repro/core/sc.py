@@ -49,6 +49,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import FrozenSet, List, Optional, Set
 
+from repro.core.compile import make_engine
 from repro.core.engine_state import (
     EngineState,
     ExplorerStats,
@@ -132,7 +133,9 @@ def explore(
 ) -> Exploration:
     """Enumerate executions of ``program`` on the idealized architecture."""
     cfg = config or ExplorationConfig()
-    engine = EngineState(program)
+    # The trace is only read when executions are collected; skipping it
+    # removes the Operation construction from the hot loop.
+    engine = make_engine(program, record_trace=cfg.collect_executions)
     tracer = cfg.tracer if (cfg.tracer is not None and cfg.tracer.enabled) else None
     engine.tracer = tracer
     executions: List[Execution] = []
@@ -258,7 +261,7 @@ def sc_executions(
 def random_sc_execution(program: Program, seed: int = 0) -> Execution:
     """One sequentially consistent execution under a random fair schedule."""
     rng = random.Random(seed)
-    engine = EngineState(program)
+    engine = make_engine(program)
     while True:
         runnable = engine.runnable()
         if not runnable:

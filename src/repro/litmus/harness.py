@@ -23,7 +23,7 @@ from repro.core.execution import Result
 from repro.core.sc import ExplorationConfig, sc_results
 from repro.hw.base import MemoryPolicy
 from repro.litmus.catalog import LitmusTest
-from repro.sim.system import SystemConfig, run_on_hardware
+from repro.sim.system import SystemConfig, run_seed_sweep
 
 
 @dataclass
@@ -58,16 +58,20 @@ def run_litmus_on_hardware(
 
     ``seeds`` may be a one-shot iterable (e.g. a generator): it is
     materialized once at entry so ``seeds_run`` reports the true count.
+    The sweep is batched through :func:`~repro.sim.system.run_seed_sweep`:
+    one policy instance (policies are stateless), one up-front
+    (policy, config) validation.
     """
     seeds = list(seeds)
-    results: Set[Result] = set()
-    for seed in seeds:
-        run = run_on_hardware(test.program, policy_factory(), config.with_seed(seed))
-        results.add(run.result)
+    policy = policy_factory()
+    results: Set[Result] = {
+        run.result
+        for run in run_seed_sweep(test.program, policy, config, seeds)
+    }
     observed = test.outcome_observed(results)
     report = LitmusHardwareReport(
         test=test,
-        policy_name=policy_factory().name,
+        policy_name=policy.name,
         config=config,
         seeds_run=len(seeds),
         outcome_observed=observed,

@@ -9,7 +9,7 @@ the hardware execution trace (accesses in commit order) for verification.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from typing import TYPE_CHECKING
@@ -123,8 +123,19 @@ class SystemConfig:
     watchdog_cycles: Optional[int] = None
 
     def with_seed(self, seed: int) -> "SystemConfig":
-        """Copy of this config with a different nondeterminism seed."""
-        return replace(self, seed=seed)
+        """Copy of this config with a different nondeterminism seed.
+
+        Seed sweeps call this once per run; a direct ``__dict__`` copy
+        skips ``dataclasses.replace``'s re-run of the generated
+        ``__init__`` (field-by-field keyword dispatch) on this wide
+        config.
+        """
+        if seed == self.seed:
+            return self
+        clone = object.__new__(SystemConfig)
+        clone.__dict__.update(self.__dict__)
+        clone.__dict__["seed"] = seed
+        return clone
 
 
 #: The four hardware configurations of the paper's Figure 1.
@@ -181,6 +192,26 @@ def build_interconnect(sim: Simulator, config: SystemConfig) -> Interconnect:
     raise ValueError(f"unknown topology {config.topology!r}")
 
 
+def _validate_policy_config(policy: "MemoryPolicy", config: SystemConfig) -> None:
+    """Reject (policy, config) pairings the substrates cannot express.
+
+    Factored out so seed sweeps can fail fast once instead of per run.
+    """
+    if policy.requires_caches and not config.caches:
+        raise ValueError(
+            f"policy {policy.name!r} needs the cache-coherent substrate"
+        )
+    if (
+        config.fault_plan is not None
+        and config.fault_plan.injects_anything
+        and config.coherence == "snoop"
+    ):
+        raise ValueError(
+            "fault injection supports the directory substrate only "
+            "(the snooping bus is atomic by construction)"
+        )
+
+
 def run_on_hardware(
     program: Program,
     policy: "MemoryPolicy",
@@ -194,16 +225,8 @@ def run_on_hardware(
     instrumentation free.
     """
     config = config or SystemConfig()
-    if policy.requires_caches and not config.caches:
-        raise ValueError(
-            f"policy {policy.name!r} needs the cache-coherent substrate"
-        )
+    _validate_policy_config(policy, config)
     injector = build_injector(config.fault_plan, config.seed)
-    if injector.enabled and config.coherence == "snoop":
-        raise ValueError(
-            "fault injection supports the directory substrate only "
-            "(the snooping bus is atomic by construction)"
-        )
 
     sim = Simulator(tracer)
     directory = None
@@ -518,12 +541,29 @@ def _package_run(
 
 def run_seed_sweep(
     program: Program,
-    policy_factory,
-    config: SystemConfig,
-    seeds: Sequence[int],
+    policy,
+    config: Optional[SystemConfig] = None,
+    seeds: Sequence[int] = range(20),
+    tracer: Optional["Tracer"] = None,
 ) -> List[MachineRun]:
-    """Run the program across many nondeterminism seeds (fresh policy each)."""
+    """Run the same (program, policy, config) across many nondeterminism seeds.
+
+    The batched entry point for seed sweeps (the litmus harness, the
+    property experiments).  ``policy`` may be a :class:`MemoryPolicy`
+    instance or a zero-argument factory (e.g. the policy class); either
+    way the (policy, config) pairing is validated *once* up front -- a bad
+    pairing fails before the first run, not on every seed -- and a single
+    policy instance is shared across all runs.  Sharing is sound because
+    policies are pure ordering disciplines: all mutable run state lives in
+    the simulator each seed builds afresh.
+    """
+    from repro.hw.base import MemoryPolicy  # late: avoids a module cycle
+
+    config = config or SystemConfig()
+    if not isinstance(policy, MemoryPolicy):
+        policy = policy()
+    _validate_policy_config(policy, config)
     return [
-        run_on_hardware(program, policy_factory(), config.with_seed(seed))
+        run_on_hardware(program, policy, config.with_seed(seed), tracer)
         for seed in seeds
     ]

@@ -19,6 +19,7 @@ from repro.core._legacy import (
     legacy_explore_dpor,
     legacy_is_sc_result,
 )
+from repro.core.compile import interpreted_engine, make_engine
 from repro.core.contract import is_sc_result
 from repro.core.dpor import (
     _StackEntry,
@@ -124,6 +125,164 @@ def test_generated_programs_all_explorers_agree():
             check_program_dpor(program, config=NO_SLEEP).obeys,
         }
         assert len(verdicts) == 1, f"seed {seed}: DRF0 verdicts disagree"
+
+
+# ---------------------------------------------------------------------------
+# Compiled vs interpreted engine (three-way with legacy)
+# ---------------------------------------------------------------------------
+#
+# The compiled engine (specialized step closures + packed int state,
+# :mod:`repro.core.compile`) is the default; ``interpreted_engine()``
+# forces the original :class:`EngineState`.  The contract is *bit
+# identity*: not just equal result sets but equal execution traces
+# (operation for operation) and equal exploration counters, because the
+# packed configuration keys must merge/cut exactly the same nodes the
+# interpreted keys do.
+
+
+def _explore_both_engines(program, cfg):
+    compiled = explore(program, cfg)
+    with interpreted_engine():
+        interpreted = explore(program, cfg)
+    return compiled, interpreted
+
+
+def _assert_bit_identical(compiled, interpreted, label):
+    assert compiled.results == interpreted.results, label
+    assert compiled.complete == interpreted.complete, label
+    assert compiled.executions == interpreted.executions, label
+    assert compiled.stats.states == interpreted.stats.states, label
+    assert compiled.stats.executions == interpreted.stats.executions, label
+    assert compiled.stats.transitions == interpreted.stats.transitions, label
+    assert compiled.stats.max_depth == interpreted.stats.max_depth, label
+
+
+@pytest.mark.parametrize("test", CATALOG, ids=lambda t: t.name)
+def test_catalog_compiled_engine_bit_identical(test):
+    """Catalog: compiled == interpreted on traces, results, and counters."""
+    for cfg in (ExplorationConfig(dedup=True), ExplorationConfig(dedup=False)):
+        compiled, interpreted = _explore_both_engines(test.program, cfg)
+        _assert_bit_identical(compiled, interpreted, test.name)
+
+
+def test_generated_programs_compiled_engine_bit_identical():
+    """200 seeded programs: compiled == interpreted, dedup on and off,
+    plus equal DPOR execution lists and DRF0 verdicts/witnesses."""
+    for seed in range(200):
+        program = random_program(seed)
+        for cfg in (
+            ExplorationConfig(dedup=True),
+            ExplorationConfig(dedup=False),
+        ):
+            compiled, interpreted = _explore_both_engines(program, cfg)
+            _assert_bit_identical(compiled, interpreted, f"seed {seed}")
+        dpor_compiled = explore_dpor(program)
+        report_compiled = check_program(program)
+        with interpreted_engine():
+            dpor_interpreted = explore_dpor(program)
+            report_interpreted = check_program(program)
+        assert dpor_compiled == dpor_interpreted, f"seed {seed}: dpor traces"
+        assert report_compiled.obeys == report_interpreted.obeys, f"seed {seed}"
+        assert report_compiled.race == report_interpreted.race, f"seed {seed}"
+        assert report_compiled.witness == report_interpreted.witness, (
+            f"seed {seed}"
+        )
+        assert (
+            report_compiled.executions_checked
+            == report_interpreted.executions_checked
+        ), f"seed {seed}"
+
+
+def test_compiled_engine_cap_hits_bit_identical():
+    """Cap-hit paths truncate at the same node on both engines."""
+    program = iriw().program
+    for cfg in (
+        ExplorationConfig(dedup=False, max_executions=5, allow_incomplete=True),
+        ExplorationConfig(dedup=False, max_ops=3, allow_incomplete=True),
+        ExplorationConfig(dedup=True, max_states=10, allow_incomplete=True),
+    ):
+        compiled, interpreted = _explore_both_engines(program, cfg)
+        _assert_bit_identical(compiled, interpreted, repr(cfg))
+
+
+def test_compiled_engine_sleep_sets_off_bit_identical():
+    """DPOR with sleep sets disabled matches across engines, cuts included."""
+    program = iriw().program
+    stats_c = ExplorerStats()
+    execs_c = explore_dpor(program, NO_SLEEP, stats=stats_c)
+    with interpreted_engine():
+        stats_i = ExplorerStats()
+        execs_i = explore_dpor(program, NO_SLEEP, stats=stats_i)
+    assert execs_c == execs_i
+    assert stats_c.states == stats_i.states
+    assert stats_c.sleep_cuts == stats_i.sleep_cuts
+    assert stats_c.transitions == stats_i.transitions
+
+
+def test_compiled_engine_spin_loop_cycle_pruning_identical():
+    """Packed keys cut livelock cycles at the same nodes as nested keys."""
+    spin = build_program(
+        [
+            ThreadBuilder().label("s").test_and_set("r", "l").branch_if(
+                Condition.NE, "r", 0, "s"
+            ).store("x", 1),
+            ThreadBuilder().load("r2", "x").sync_store("l", 0),
+        ],
+        initial_memory={"l": 1, "x": 0},
+        name="spin-release",
+    )
+    cfg = ExplorationConfig(dedup=True)
+    compiled, interpreted = _explore_both_engines(spin, cfg)
+    _assert_bit_identical(compiled, interpreted, "spin-release")
+
+
+def test_step_semantics_match_execute_atomically():
+    """Differential: the engines' inlined memory semantics against the
+    reference :func:`execute_atomically` on the same request stream.
+
+    Both engines inline read/write application instead of calling the
+    dict-based helper; this pins the three implementations to each other
+    on every operation of a random-schedule walk over generated programs.
+    """
+    import random
+
+    from repro.core.engine_state import execute_atomically
+    from repro.machine.interpreter import MemRequest
+
+    for engine_ctx in (None, interpreted_engine):
+        for seed in range(40):
+            program = random_program(seed)
+            if engine_ctx is None:
+                engine = make_engine(program)
+            else:
+                with engine_ctx():
+                    engine = make_engine(program)
+            memory = dict(program.initial_memory)
+            rng = random.Random(seed)
+            while True:
+                runnable = engine.runnable()
+                if not runnable:
+                    break
+                proc = rng.choice(runnable)
+                request = engine.pending(proc)
+                op = engine.step(proc)
+                # The reference semantics, applied to a shadow memory;
+                # the request is rebuilt from the executed op because the
+                # compiled engine's pending requests carry no write value.
+                ref_read, ref_written = execute_atomically(
+                    memory,
+                    MemRequest(
+                        instr=request.instr,
+                        kind=op.kind,
+                        location=op.location,
+                        write_value=(
+                            op.value_written if op.kind.has_write else None
+                        ),
+                    ),
+                )
+                assert op.value_read == ref_read
+                assert op.value_written == ref_written
+            assert dict(engine.final_memory()) == memory
 
 
 # ---------------------------------------------------------------------------

@@ -72,11 +72,51 @@ class TestRunMechanics:
         b = run_on_hardware(program, AdveHillPolicy(), SystemConfig(seed=5))
         assert a.result == b.result and a.cycles == b.cycles
 
-    def test_seed_sweep_runs_fresh_policies(self):
+    def test_seed_sweep_accepts_class_or_instance(self):
         program = lock_increment_program(2)
         runs = run_seed_sweep(program, AdveHillPolicy, SystemConfig(), range(4))
         assert len(runs) == 4
         assert all(r.result.memory_value("count") == 2 for r in runs)
+        shared = run_seed_sweep(
+            program, AdveHillPolicy(), SystemConfig(), range(4)
+        )
+        assert [r.result for r in shared] == [r.result for r in runs]
+
+    def test_seed_sweep_matches_per_seed_fresh_policy_runs(self):
+        """Batching (one shared policy instance, one up-front validation)
+        must not change any run: bit-identical results and cycle counts
+        against the unbatched per-seed loop with a fresh policy each."""
+        program = message_passing_program()
+        config = SystemConfig()
+        batched = run_seed_sweep(program, AdveHillPolicy(), config, SEEDS)
+        for seed, run in zip(SEEDS, batched):
+            solo = run_on_hardware(
+                program, AdveHillPolicy(), config.with_seed(seed)
+            )
+            assert run.result == solo.result, f"seed {seed}"
+            assert run.cycles == solo.cycles, f"seed {seed}"
+            assert run.messages_sent == solo.messages_sent, f"seed {seed}"
+
+    def test_seed_sweep_validates_before_first_run(self):
+        """A bad (policy, config) pairing fails fast, not on seed 0's run."""
+        with pytest.raises(ValueError):
+            run_seed_sweep(
+                store_buffer_program(),
+                AdveHillPolicy(),
+                SystemConfig(caches=False),
+                range(3),
+            )
+
+    def test_with_seed_fast_copy_matches_replace(self):
+        import dataclasses
+
+        config = SystemConfig(topology="bus", net_jitter=9, cache_capacity=2)
+        assert config.with_seed(7) == dataclasses.replace(config, seed=7)
+        assert config.with_seed(config.seed) is config
+        clone = config.with_seed(7)
+        assert clone.seed == 7 and config.seed != 7
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            clone.seed = 9  # still frozen
 
     def test_policy_requiring_caches_rejected_on_cacheless(self):
         with pytest.raises(ValueError):
