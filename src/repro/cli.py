@@ -251,7 +251,9 @@ def cmd_drf0(args) -> int:
         from repro.core.dpor import check_program_dpor
 
         cfg = ExplorationConfig(
-            sleep_sets=not args.no_sleep_sets, tracer=tracer
+            sleep_sets=not args.no_sleep_sets,
+            tracer=tracer,
+            explore_jobs=args.explore_jobs,
         )
         report = check_program_dpor(program, config=cfg)
         mode = f"DPOR over {report.executions_checked} representative executions"
@@ -259,7 +261,10 @@ def cmd_drf0(args) -> int:
             mode += ", sleep sets off"
     else:
         report = check_program(
-            program, config=ExplorationConfig(max_ops=400, tracer=tracer)
+            program,
+            config=ExplorationConfig(
+                max_ops=400, tracer=tracer, explore_jobs=args.explore_jobs
+            ),
         )
         mode = f"exhaustive over {report.executions_checked} executions"
     elapsed = time.perf_counter() - start
@@ -386,6 +391,11 @@ def cmd_sweep(args) -> int:
         raise _usage_error(
             f"--jobs must be >= 0 (got {args.jobs}); 0 means one per CPU"
         )
+    if args.explore_jobs < 0:
+        raise _usage_error(
+            f"--explore-jobs must be >= 0 (got {args.explore_jobs}); "
+            "0 means one per CPU"
+        )
     if args.resume and not args.journal:
         raise _usage_error("--resume requires --journal FILE")
     names = args.names or DEFAULT_SWEEP_PROGRAMS
@@ -401,8 +411,9 @@ def cmd_sweep(args) -> int:
 
         registry = MetricsRegistry()
     engine = VerificationEngine(
-        jobs=args.jobs, tracer=tracer, metrics=registry,
-        task_timeout=args.task_timeout, cache_dir=args.cache_dir,
+        jobs=args.jobs, explore_jobs=args.explore_jobs, tracer=tracer,
+        metrics=registry, task_timeout=args.task_timeout,
+        cache_dir=args.cache_dir,
     )
     try:
         evidence = engine.definition2_sweep(
@@ -593,6 +604,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-sleep-sets", action="store_true",
                    help="with --dpor: disable the sleep-set pruning layer")
     p.add_argument("--seeds", type=int, default=50)
+    p.add_argument("--explore-jobs", type=int, default=1,
+                   help="shard the exploration across N forked engine "
+                        "processes (0 = one per CPU); the verdict is "
+                        "identical to --explore-jobs 1")
     p.add_argument("--witness", action="store_true")
     p.add_argument("--stats", action="store_true",
                    help="print explorer counters (states/sec, undo depth, "
@@ -638,6 +653,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (0 = one per CPU); output is "
                         "identical to --jobs 1")
+    p.add_argument("--explore-jobs", type=int, default=1,
+                   help="intra-cell parallelism: shard expensive oracle "
+                        "explorations across N forked engine processes "
+                        "(0 = one per CPU); evidence is identical to "
+                        "--explore-jobs 1")
     p.add_argument("--stats", action="store_true",
                    help="print aggregate explorer counters for the oracle "
                         "work the sweep dispatched")

@@ -34,6 +34,7 @@ from repro.core.drf0 import (
 from repro.core.execution import Execution, Result
 from repro.core.models import DRF0_MODEL, DRF1_MODEL, DRF0, DRF1, SynchronizationModel
 from repro.core.ops import Operation, conflicts
+from repro.core.parallel import ShardStats, can_fork, resolve_jobs
 from repro.core.relations import (
     Relation,
     happens_before,
@@ -42,6 +43,7 @@ from repro.core.relations import (
 )
 from repro.core.sc import (
     Exploration,
+    ExplorationCapError,
     ExplorationConfig,
     ExplorationIncomplete,
     explore,
@@ -63,9 +65,13 @@ __all__ = [
     "EngineState",
     "Execution",
     "Exploration",
+    "ExplorationCapError",
     "ExplorationConfig",
     "ExplorationIncomplete",
     "ExplorerStats",
+    "ShardStats",
+    "can_fork",
+    "resolve_jobs",
     "compiled_enabled",
     "compiled_program",
     "interpreted_engine",

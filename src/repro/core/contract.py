@@ -29,11 +29,17 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 from repro.core.compile import make_engine
 from repro.core.engine_state import ExplorerStats
 from repro.core.execution import Result
+from repro.core.sc import ExplorationCapError
 from repro.machine.program import Program
 
 
-class ContractSearchLimit(RuntimeError):
-    """Raised when the guided membership search exceeds its state budget."""
+class ContractSearchLimit(ExplorationCapError):
+    """Raised when the guided membership search exceeds its state budget.
+
+    Subclasses :class:`~repro.core.sc.ExplorationCapError`, so it carries
+    the same states/frontier/shards snapshot when raised from a sharded
+    search.
+    """
 
 
 def is_sc_result(
@@ -41,6 +47,7 @@ def is_sc_result(
     result: Result,
     max_states: int = 2_000_000,
     stats: Optional[ExplorerStats] = None,
+    explore_jobs: int = 1,
 ) -> bool:
     """True iff ``result`` is the result of some idealized execution.
 
@@ -52,7 +59,9 @@ def is_sc_result(
 
     The search runs on the in-place do/undo transition engine
     (:class:`~repro.core.engine_state.EngineState`); pass ``stats`` to
-    accumulate its exploration counters.
+    accumulate its exploration counters.  ``explore_jobs > 1`` (or ``0``
+    = all cores) shards the search across a fork pool with an early-exit
+    broadcast on the first hit (:mod:`repro.core.parallel`).
     """
     if len(result.reads) != program.num_procs:
         return False
@@ -60,6 +69,20 @@ def is_sc_result(
     if set(dict(result.final_memory)) != set(program.initial_memory):
         return False
     expected_memory = tuple(sorted(result.final_memory))
+
+    if explore_jobs != 1:
+        from repro.core import parallel
+
+        jobs = parallel.resolve_jobs(explore_jobs)
+        if jobs > 1 and parallel.can_fork():
+            return parallel.parallel_is_sc_result(
+                program,
+                expected_reads,
+                expected_memory,
+                max_states,
+                jobs,
+                stats=stats,
+            )
 
     # The guided search never reads the trace: skip recording it.
     engine = make_engine(program, record_trace=False)
@@ -80,7 +103,8 @@ def is_sc_result(
         states += 1
         if states > max_states:
             raise ContractSearchLimit(
-                f"guided SC search exceeded {max_states} configurations"
+                f"guided SC search exceeded {max_states} configurations",
+                states=states,
             )
         for proc in runnable:
             request = engine.pending(proc)

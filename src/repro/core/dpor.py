@@ -73,7 +73,7 @@ from repro.core.engine_state import ExplorerStats
 from repro.core.execution import Execution, Result
 from repro.core.models import DRF0_MODEL, SynchronizationModel
 from repro.core.ops import Operation
-from repro.core.sc import ExplorationConfig, ExplorationIncomplete
+from repro.core.sc import ExplorationCapError, ExplorationConfig
 from repro.machine.program import Program
 
 
@@ -282,9 +282,10 @@ def iter_dpor_executions(
         if engine.depth >= cfg.max_ops:
             if cfg.allow_incomplete:
                 return
-            raise ExplorationIncomplete(
+            raise ExplorationCapError(
                 f"DPOR execution exceeded {cfg.max_ops} operations; use the "
-                "naive explorer for programs with spin loops"
+                "naive explorer for programs with spin loops",
+                states=stats.states,
             )
         awake = [p for p in enabled if p not in sleep] if use_sleep else enabled
         if not awake:
@@ -373,6 +374,15 @@ def check_program_dpor(
     as they are produced, so a racy program stops the exploration at its
     first racy representative.
     """
+    config = config or ExplorationConfig()
+    if config.explore_jobs != 1:
+        from repro.core import parallel
+
+        jobs = parallel.resolve_jobs(config.explore_jobs)
+        if jobs > 1 and config.tracer is None and parallel.can_fork():
+            return parallel.parallel_check_program_dpor(
+                program, model, config, jobs
+            )
     stats = ExplorerStats()
     checked = 0
     for execution in iter_dpor_executions(program, config, stats):
@@ -404,6 +414,13 @@ def sc_results_dpor(
     commuting independent operations cannot change.  Results are folded
     from the execution stream; no execution list is materialized.
     """
+    config = config or ExplorationConfig()
+    if config.explore_jobs != 1:
+        from repro.core import parallel
+
+        jobs = parallel.resolve_jobs(config.explore_jobs)
+        if jobs > 1 and config.tracer is None and parallel.can_fork():
+            return parallel.parallel_sc_results_dpor(program, config, jobs)
     return frozenset(
         e.result() for e in iter_dpor_executions(program, config)
     )

@@ -42,8 +42,8 @@ from repro.core.models import DRF0_MODEL, SynchronizationModel
 from repro.core.ops import Operation, conflicts
 from repro.core.relations import happens_before
 from repro.core.sc import (
+    ExplorationCapError,
     ExplorationConfig,
-    ExplorationIncomplete,
     random_sc_execution,
 )
 from repro.machine.program import Program
@@ -303,6 +303,53 @@ class _PathRaceDetector:
         del self.races[races_len:]
 
 
+class _LiteOp:
+    """A value-free stand-in for :class:`Operation` in race detection.
+
+    Race relevance, acquire/release membership, and history recording
+    only read ``(proc, kind, location)`` and the kind flags -- never the
+    values -- so the exhaustive checker can drive the vector-clock
+    detector without materializing real operations (``record_trace=False``
+    engines return ``None`` from ``step``).  One instance per distinct
+    ``(proc, kind, location)`` triple serves a whole exploration.
+    """
+
+    __slots__ = ("proc", "kind", "location", "is_sync", "has_read", "has_write")
+
+    def __init__(self, proc: int, kind, location) -> None:
+        self.proc = proc
+        self.kind = kind
+        self.location = location
+        self.is_sync = kind.is_sync
+        self.has_read = kind.has_read
+        self.has_write = kind.has_write
+
+
+def _lite_op(engine, proc: int, cache: Dict[tuple, _LiteOp]) -> _LiteOp:
+    """The lite operation ``proc`` is about to execute (pre-step)."""
+    request = engine.pending(proc)
+    key = (proc, request.kind, request.location)
+    op = cache.get(key)
+    if op is None:
+        op = cache[key] = _LiteOp(proc, request.kind, request.location)
+    return op
+
+
+def _replay_execution(program: Program, path) -> Execution:
+    """Materialize the execution of a proc-choice ``path`` on a fresh
+    recording engine.
+
+    Operation uids are completion indices, so the replayed execution is
+    bit-identical to what a trace-recording engine would have held at
+    that leaf -- this is how verdict-only explorations produce witnesses
+    on demand.
+    """
+    engine = make_engine(program)
+    for proc in path:
+        engine.step(proc)
+    return engine.execution()
+
+
 # ---------------------------------------------------------------------------
 # Whole-program verdicts
 # ---------------------------------------------------------------------------
@@ -340,12 +387,26 @@ def check_program(
     expanding the rest of the tree, and no execution list is materialized.
     """
     cfg = config or ExplorationConfig(max_ops=400)
+    if cfg.explore_jobs != 1:
+        from repro.core import parallel
+
+        jobs = parallel.resolve_jobs(cfg.explore_jobs)
+        if jobs > 1 and cfg.tracer is None and parallel.can_fork():
+            return parallel.parallel_check_program(program, model, cfg, jobs)
     stats = ExplorerStats()
-    engine = make_engine(program)
+    # This is a verdict-only exploration: the trace is never read on the
+    # hot path.  The detector runs on cached value-free lite operations,
+    # and the racy witness (the cold path) is materialized by replaying
+    # the current proc-choice path on a recording engine -- operation
+    # uids are completion indices, so the replayed witness is
+    # bit-identical to the trace the engine would have recorded.
+    engine = make_engine(program, record_trace=False)
     if cfg.tracer is not None and cfg.tracer.enabled:
         engine.tracer = cfg.tracer
     detector = _PathRaceDetector(program.num_procs, model)
     races = detector.races
+    lite_cache: Dict[tuple, _LiteOp] = {}
+    path: List[int] = []
     on_path: Set[object] = set()
     track_cycles = not engine.straightline
 
@@ -361,21 +422,23 @@ def check_program(
         if not runnable:
             stats.executions += 1
             if races:
+                witness = _replay_execution(program, path)
                 return DRF0Report(
                     program=program,
                     model_name=model.name,
                     obeys=False,
                     executions_checked=stats.executions,
-                    race=races[0],
-                    witness=engine.execution(),
+                    race=races_in_execution_vc(witness, model)[0],
+                    witness=witness,
                     stats=stats,
                 )
             return None
         if engine.depth >= cfg.max_ops:
             if cfg.allow_incomplete:
                 return None
-            raise ExplorationIncomplete(
-                f"interleaving exceeded {cfg.max_ops} operations"
+            raise ExplorationCapError(
+                f"interleaving exceeded {cfg.max_ops} operations",
+                states=stats.states,
             )
         key = None
         if track_cycles:
@@ -387,13 +450,16 @@ def check_program(
             on_path.add(key)
         try:
             for proc in runnable:
-                op = engine.step(proc)
+                op = _lite_op(engine, proc, lite_cache)
+                engine.step(proc)
                 detector.push(op)
+                path.append(proc)
                 try:
                     report = dfs()
                     if report is not None:
                         return report
                 finally:
+                    path.pop()
                     detector.pop()
                     engine.undo()
         finally:
@@ -480,8 +546,9 @@ def _all_interleavings(
         if engine.depth >= cfg.max_ops:
             if cfg.allow_incomplete:
                 return
-            raise ExplorationIncomplete(
-                f"interleaving exceeded {cfg.max_ops} operations"
+            raise ExplorationCapError(
+                f"interleaving exceeded {cfg.max_ops} operations",
+                states=stats.states,
             )
         key = None
         if track_cycles:

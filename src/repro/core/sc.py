@@ -62,6 +62,7 @@ from repro.core.execution import Execution, Result
 from repro.machine.program import Program
 
 __all__ = [
+    "ExplorationCapError",
     "ExplorationConfig",
     "ExplorationIncomplete",
     "Exploration",
@@ -72,8 +73,39 @@ __all__ = [
 ]
 
 
-class ExplorationIncomplete(RuntimeError):
-    """Raised when an exploration cap is hit without ``allow_incomplete``."""
+class ExplorationCapError(RuntimeError):
+    """Raised when an exploration cap is hit without ``allow_incomplete``.
+
+    Carries a snapshot of the exploration counters at the moment the cap
+    fired -- states visited, and for sharded runs the frontier and shard
+    counts -- so a capped run is diagnosable from the message alone.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        states: Optional[int] = None,
+        frontier: Optional[int] = None,
+        shards: Optional[int] = None,
+    ) -> None:
+        self.states = states
+        self.frontier = frontier
+        self.shards = shards
+        parts = []
+        if states is not None:
+            parts.append(f"states={states}")
+        if frontier is not None:
+            parts.append(f"frontier={frontier}")
+        if shards is not None:
+            parts.append(f"shards={shards}")
+        if parts:
+            message = f"{message} [{', '.join(parts)}]"
+        super().__init__(message)
+
+
+#: Historical name, kept importable: every pre-E15 caller catches this.
+ExplorationIncomplete = ExplorationCapError
 
 
 @dataclass
@@ -99,6 +131,12 @@ class ExplorationConfig:
             engine step/undo and explorer events (timestamps are the
             engine's transition count).  ``None`` keeps the hot loop
             untouched.
+        explore_jobs: Shard this single exploration across a fork pool
+            of compiled engines (:mod:`repro.core.parallel`).  ``1``
+            (default) stays serial; ``0`` means one worker per core.
+            Only result-set/verdict-only paths shard (execution lists
+            are order-dependent); unshardable configurations fall back
+            to the serial path silently.
     """
 
     max_executions: Optional[int] = None
@@ -109,6 +147,7 @@ class ExplorationConfig:
     collect_executions: bool = True
     sleep_sets: bool = True
     tracer: Optional[object] = None
+    explore_jobs: int = 1
 
 
 @dataclass
@@ -133,6 +172,18 @@ def explore(
 ) -> Exploration:
     """Enumerate executions of ``program`` on the idealized architecture."""
     cfg = config or ExplorationConfig()
+    if cfg.explore_jobs != 1:
+        from repro.core import parallel
+
+        jobs = parallel.resolve_jobs(cfg.explore_jobs)
+        if (
+            jobs > 1
+            and not cfg.collect_executions
+            and cfg.max_executions is None
+            and cfg.tracer is None
+            and parallel.can_fork()
+        ):
+            return parallel.parallel_explore(program, cfg, jobs)
     # The trace is only read when executions are collected; skipping it
     # removes the Operation construction from the hot loop.
     engine = make_engine(program, record_trace=cfg.collect_executions)
@@ -177,9 +228,10 @@ def explore(
             state["complete"] = False
             if cfg.allow_incomplete:
                 return True
-            raise ExplorationIncomplete(
+            raise ExplorationCapError(
                 f"execution exceeded {cfg.max_ops} operations; "
-                "the program may spin forever under some schedule"
+                "the program may spin forever under some schedule",
+                states=stats.states,
             )
         cycle_key = None
         if track_cycles or cfg.dedup:
@@ -196,8 +248,9 @@ def explore(
             state["complete"] = False
             if cfg.allow_incomplete:
                 return True
-            raise ExplorationIncomplete(
-                f"visited more than {cfg.max_states} configurations"
+            raise ExplorationCapError(
+                f"visited more than {cfg.max_states} configurations",
+                states=stats.states,
             )
         if track_cycles:
             on_path.add(cycle_key)

@@ -25,6 +25,7 @@ from repro.obs.metrics import (
     Timer,
     explorer_metrics,
     run_metrics,
+    shard_metrics,
 )
 from repro.obs.stall import (
     CAUSE_ORDER,
@@ -58,6 +59,7 @@ __all__ = [
     "render_stall_comparison",
     "render_stall_table",
     "run_metrics",
+    "shard_metrics",
     "stall_breakdown",
     "validate_chrome_trace",
     "validate_chrome_trace_file",
