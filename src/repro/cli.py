@@ -21,6 +21,9 @@ Commands:
   delivery-violating plan must be flagged by the liveness machinery;
 * ``cache DIR {stats,audit,compact}`` -- inspect, re-judge, or compact a
   persistent verdict store (the directory ``--cache-dir`` writes);
+* ``status PATH`` / ``top PATH`` -- render a live campaign's
+  ``--status-json`` snapshot once, or as a refreshing stdlib-ANSI view
+  (``sweep``/``fuzz``/``chaos``/``drf0`` all accept ``--status-json``);
 * ``catalog`` -- list available litmus tests and workloads.
 
 Persistence: ``sweep``, ``fuzz``, and ``chaos`` accept ``--cache-dir DIR``
@@ -163,6 +166,27 @@ def _write_obs_outputs(args, tracer=None, registry=None) -> None:
         print(f"metrics -> {metrics_json}", file=sys.stderr)
 
 
+def _make_monitor(args, command: str):
+    """A :class:`~repro.obs.CampaignMonitor` when ``--status-json`` asks.
+
+    Must be constructed *before* the engine (and before any worker pool
+    forks) so the spool directory is published into the pre-fork module
+    state every worker inherits.
+    """
+    path = getattr(args, "status_json", None)
+    if not path:
+        return None
+    from repro.obs import CampaignMonitor
+
+    return CampaignMonitor(path, command=command)
+
+
+def _load_snapshot(path: str) -> dict:
+    """Read one ``--status-json`` snapshot (raises OSError/ValueError)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
 def cmd_catalog(args) -> int:
     print("litmus tests:")
     for test in all_tests():
@@ -243,31 +267,58 @@ def cmd_drf0(args) -> int:
 
     program = _resolve_program(args.name)
     tracer = _make_tracer(args)
+    # The drf0 command drives the explorer directly (no engine), so the
+    # monitor plans its single cell here; shard workers spawned by
+    # --explore-jobs heartbeat into the same spool and the exploration
+    # coordinator polls them into the snapshot as the run progresses.
+    monitor = _make_monitor(args, f"drf0 {args.name}")
+    if monitor is not None:
+        monitor.claim_plan()
+        monitor.plan([(program.name, 1, 0.0)])
+        monitor.poll(force=True)
     start = time.perf_counter()
-    if args.sampled:
-        report = check_program_sampled(program, seeds=range(args.seeds))
-        mode = f"sampled over {report.executions_checked} executions"
-    elif args.dpor:
-        from repro.core.dpor import check_program_dpor
+    try:
+        if args.sampled:
+            report = check_program_sampled(program, seeds=range(args.seeds))
+            mode = f"sampled over {report.executions_checked} executions"
+        elif args.dpor:
+            from repro.core.dpor import check_program_dpor
 
-        cfg = ExplorationConfig(
-            sleep_sets=not args.no_sleep_sets,
-            tracer=tracer,
-            explore_jobs=args.explore_jobs,
-        )
-        report = check_program_dpor(program, config=cfg)
-        mode = f"DPOR over {report.executions_checked} representative executions"
-        if args.no_sleep_sets:
-            mode += ", sleep sets off"
-    else:
-        report = check_program(
-            program,
-            config=ExplorationConfig(
-                max_ops=400, tracer=tracer, explore_jobs=args.explore_jobs
-            ),
-        )
-        mode = f"exhaustive over {report.executions_checked} executions"
+            cfg = ExplorationConfig(
+                sleep_sets=not args.no_sleep_sets,
+                tracer=tracer,
+                explore_jobs=args.explore_jobs,
+            )
+            report = check_program_dpor(program, config=cfg)
+            mode = (
+                f"DPOR over {report.executions_checked} "
+                "representative executions"
+            )
+            if args.no_sleep_sets:
+                mode += ", sleep sets off"
+        else:
+            report = check_program(
+                program,
+                config=ExplorationConfig(
+                    max_ops=400, tracer=tracer, explore_jobs=args.explore_jobs
+                ),
+            )
+            mode = f"exhaustive over {report.executions_checked} executions"
+    except BaseException as exc:
+        if monitor is not None:
+            monitor.fail(f"{type(exc).__name__}: {exc}")
+        raise
     elapsed = time.perf_counter() - start
+    if monitor is not None:
+        monitor.unit_done(0)
+        monitor.observe_cell_us(0, elapsed * 1e6)
+        monitor.finish(
+            ok=True,
+            result={
+                "obeys": report.obeys,
+                "executions_checked": report.executions_checked,
+            },
+        )
     registry = None
     if args.metrics_json:
         from repro.obs import explorer_metrics
@@ -410,10 +461,11 @@ def cmd_sweep(args) -> int:
         from repro.obs import MetricsRegistry
 
         registry = MetricsRegistry()
+    monitor = _make_monitor(args, "sweep " + " ".join(names))
     engine = VerificationEngine(
         jobs=args.jobs, explore_jobs=args.explore_jobs, tracer=tracer,
         metrics=registry, task_timeout=args.task_timeout,
-        cache_dir=args.cache_dir,
+        cache_dir=args.cache_dir, monitor=monitor,
     )
     try:
         evidence = engine.definition2_sweep(
@@ -428,10 +480,18 @@ def cmd_sweep(args) -> int:
             resume=args.resume,
         )
     except JournalError as exc:
+        if monitor is not None:
+            monitor.fail(str(exc))
         raise _usage_error(str(exc))
     except LivenessError as exc:
+        if monitor is not None:
+            monitor.fail(exc.diagnosis())
         print(exc.diagnosis(), file=sys.stderr)
         return 1
+    except BaseException as exc:
+        if monitor is not None:
+            monitor.fail(f"{type(exc).__name__}: {exc}")
+        raise
     reused = engine.resilience.get("journal_units_reused")
     if reused:
         print(
@@ -465,6 +525,14 @@ def cmd_sweep(args) -> int:
             f"{row['mean_cycles']:.1f}"
         )
     holds = evidence.contract_holds
+    if monitor is not None:
+        # The snapshot embeds the evidence rows verbatim, so the final
+        # status file's verdict table is byte-identical to this output.
+        monitor.finish(
+            ok=holds,
+            verdicts=evidence.rows,
+            result={"contract_holds": holds},
+        )
     if args.stats:
         print("\noracle work (SC-membership judgments + DRF0 verdicts):")
         _print_explorer_stats(engine.explorer_stats)
@@ -572,6 +640,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics-json", metavar="FILE", default=None,
                        help="write the metrics registry as JSON")
 
+    def add_status_arg(p):
+        p.add_argument("--status-json", metavar="FILE", default=None,
+                       help="write a live, atomically-replaced campaign "
+                            "status snapshot (per-worker heartbeats, "
+                            "completion %%, ETA); poll it with "
+                            "`repro status FILE` or `repro top FILE`")
+
     def add_fault_args(p):
         from repro.sim.faults import FAULT_PLANS
 
@@ -615,6 +690,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable verdict on stdout")
     add_obs_args(p)
+    add_status_arg(p)
     p.set_defaults(func=cmd_drf0)
 
     p = sub.add_parser("models", help="axiomatic admission table")
@@ -677,6 +753,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "work units it is missing")
     add_fault_args(p)
     add_obs_args(p)
+    add_status_arg(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -711,6 +788,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-json", metavar="FILE", default=None,
                    help="write engine metrics (incl. aggregated cache hit "
                         "rates and store counters) as JSON")
+    add_status_arg(p)
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
@@ -730,6 +808,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", metavar="DIR", default=None,
                    help="persistent verdict store shared by the baseline "
                         "and every fault plan (and across chaos runs)")
+    add_status_arg(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
@@ -745,6 +824,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="stats: machine-readable output")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "status",
+        help="validate and render a --status-json campaign snapshot once",
+    )
+    p.add_argument("path", metavar="FILE",
+                   help="the snapshot a running (or finished) campaign "
+                        "writes via --status-json")
+    p.add_argument("--json", action="store_true",
+                   help="print the validated snapshot JSON instead of the "
+                        "rendered view")
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser(
+        "top",
+        help="live-refreshing view of a --status-json campaign snapshot",
+    )
+    p.add_argument("path", metavar="FILE")
+    p.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                   help="refresh period (default: 1.0)")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit (no ANSI clear)")
+    p.set_defaults(func=cmd_top)
 
     return parser
 
@@ -792,13 +894,22 @@ def cmd_chaos(args) -> int:
         raise _usage_error(
             f"--jobs must be >= 0 (got {args.jobs}); 0 means one per CPU"
         )
-    report = chaos_sweep(
-        seeds=range(args.seeds),
-        jobs=args.jobs,
-        quick=args.quick,
-        progress=lambda message: print(f"  .. {message}", file=sys.stderr),
-        cache_dir=args.cache_dir,
-    )
+    monitor = _make_monitor(args, f"chaos --seeds {args.seeds}")
+    try:
+        report = chaos_sweep(
+            seeds=range(args.seeds),
+            jobs=args.jobs,
+            quick=args.quick,
+            progress=lambda message: print(f"  .. {message}", file=sys.stderr),
+            cache_dir=args.cache_dir,
+            monitor=monitor,
+        )
+    except BaseException as exc:
+        if monitor is not None:
+            monitor.fail(f"{type(exc).__name__}: {exc}")
+        raise
+    if monitor is not None:
+        monitor.finish(ok=report.ok, result=report.to_json())
     print(report.render())
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
@@ -820,10 +931,30 @@ def cmd_fuzz(args) -> int:
         from repro.obs import MetricsRegistry
 
         registry = MetricsRegistry()
-    engine = VerificationEngine(
-        jobs=args.jobs, metrics=registry, cache_dir=args.cache_dir
+    monitor = _make_monitor(
+        args, f"fuzz --programs {args.programs} --start-seed {args.start_seed}"
     )
-    report = engine.fuzz(range(args.start_seed, args.start_seed + args.programs))
+    engine = VerificationEngine(
+        jobs=args.jobs, metrics=registry, cache_dir=args.cache_dir,
+        monitor=monitor,
+    )
+    try:
+        report = engine.fuzz(
+            range(args.start_seed, args.start_seed + args.programs)
+        )
+    except BaseException as exc:
+        if monitor is not None:
+            monitor.fail(f"{type(exc).__name__}: {exc}")
+        raise
+    if monitor is not None:
+        monitor.finish(
+            ok=report.ok,
+            result={
+                "programs_run": report.programs_run,
+                "hardware_runs": report.hardware_runs,
+                "failures": list(report.failures),
+            },
+        )
     stats = engine.sc_cache.stats
     print(
         f"fuzz: {report.programs_run} programs, "
@@ -839,6 +970,68 @@ def cmd_fuzz(args) -> int:
         engine.metrics_snapshot(registry)
     _write_obs_outputs(args, None, registry)
     return 0 if report.ok else 1
+
+
+def cmd_status(args) -> int:
+    """One-shot render of a ``--status-json`` snapshot."""
+    from repro.obs import render_status, validate_status
+
+    try:
+        snap = _load_snapshot(args.path)
+    except (OSError, ValueError) as exc:
+        raise _usage_error(f"cannot read status snapshot {args.path}: {exc}")
+    problems = validate_status(snap)
+    if problems:
+        print(f"{args.path}: INVALID snapshot", file=sys.stderr)
+        for problem in problems[:10]:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(snap, indent=2, sort_keys=True))
+    else:
+        print(render_status(snap))
+    return 1 if snap.get("state") == "failed" else 0
+
+
+def cmd_top(args) -> int:
+    """Refreshing ANSI view of a live campaign (stdlib only).
+
+    Tolerates a not-yet-created snapshot (the campaign may still be
+    warming up) and transient read races; exits when the campaign
+    leaves the ``running`` state, mirroring its success in the exit
+    status.  ``--once`` renders a single frame without clearing.
+    """
+    import time
+
+    from repro.obs import render_status
+
+    interval = max(0.05, args.interval)
+    waited = False
+    while True:
+        try:
+            snap = _load_snapshot(args.path)
+        except FileNotFoundError as exc:
+            if args.once:
+                raise _usage_error(f"no status snapshot at {args.path}")
+            if not waited:
+                print(f"waiting for {args.path} ...", file=sys.stderr)
+                waited = True
+            time.sleep(interval)
+            continue
+        except (OSError, ValueError):
+            # Mid-replace read race or torn tmp file: retry next tick.
+            time.sleep(interval)
+            continue
+        frame = render_status(snap)
+        if args.once:
+            print(frame)
+        else:
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+        state = snap.get("state")
+        if args.once or state in ("done", "failed"):
+            return 1 if state == "failed" else 0
+        time.sleep(interval)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

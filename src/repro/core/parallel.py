@@ -65,6 +65,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.compile import make_engine
 from repro.core.engine_state import ExplorerStats
+from repro.obs import stream as obs_stream
 from repro.core.execution import Result
 from repro.core.models import DRF0_MODEL, SynchronizationModel
 from repro.machine.program import Program
@@ -285,24 +286,37 @@ def _run_shard(task: tuple) -> tuple:
     """
     ctx = _SHARD_CONTEXT
     prefix, seeds = task
+    writer = obs_stream.worker_writer("shard")
+    label = f"shard:{ctx.mode}@{'.'.join(map(str, prefix))}" if writer else None
+    if writer is not None:
+        writer.beat(task=label)
     _fire_shard_failpoint(ctx.failpoints)
     stats = ExplorerStats()
     try:
         if ctx.mode in ("dpor-results", "dpor-race"):
-            return _dpor_shard(ctx, prefix, seeds, stats)
-        if ctx.mode == "member":
-            return _member_shard(ctx, prefix, stats)
-        if ctx.mode == "drf0":
-            return _drf0_shard(ctx, prefix, stats)
-        return _results_shard(ctx, prefix, stats)
+            payload = _dpor_shard(ctx, prefix, seeds, stats)
+        elif ctx.mode == "member":
+            payload = _member_shard(ctx, prefix, stats)
+        elif ctx.mode == "drf0":
+            payload = _drf0_shard(ctx, prefix, stats)
+        else:
+            payload = _results_shard(ctx, prefix, stats)
     except _Cancelled:
-        return ("cancelled", None, stats, True, ())
+        payload = ("cancelled", None, stats, True, ())
     except Exception as exc:  # cap errors travel as data, not exceptions
         from repro.core.sc import ExplorationCapError
 
         if isinstance(exc, ExplorationCapError):
-            return ("capped", str(exc), stats, False, ())
-        raise
+            payload = ("capped", str(exc), stats, False, ())
+        else:
+            if writer is not None:
+                writer.stall(f"{type(exc).__name__}: {exc}", task=label)
+                writer.beat(task=label, force=True)
+            raise
+    if writer is not None:
+        writer.add(shards=1, states=payload[2].states)
+        writer.beat(task=label)
+    return payload
 
 
 def _results_shard(ctx: _ShardContext, prefix, stats) -> tuple:
@@ -1144,6 +1158,7 @@ class _Coordinator:
                     self.sstats.shards += 1
                 if not inflight:
                     continue
+                obs_stream.parent_poll()
                 done = [i for i, rec in inflight.items() if rec[1].ready()]
                 if not done:
                     self._check_workers(pool, inflight)

@@ -9,12 +9,23 @@ Three pillars (see ``docs/observability.md``):
 * :mod:`repro.obs.export` / :mod:`repro.obs.stall` -- Chrome
   trace-event (Perfetto) JSON, JSONL event logs, and the per-processor
   per-cause stall tables that turn Figure 3 into numbers.
+
+Plus the live-campaign plane (PR 8):
+
+* :mod:`repro.obs.stream`   -- per-worker checksummed heartbeat spools
+  (lock-free multi-process streaming) with an incremental reader and an
+  exactly-once fold;
+* :mod:`repro.obs.progress` -- completion/ETA/straggler arithmetic and
+  the :class:`CampaignMonitor` that writes the atomically-replaced
+  ``--status-json`` snapshot the ``status``/``top`` CLI renders.
 """
 
 from repro.obs.export import (
     chrome_trace,
     validate_chrome_trace,
     validate_chrome_trace_file,
+    validate_status,
+    validate_status_file,
     write_chrome_trace,
     write_jsonl,
 )
@@ -26,6 +37,7 @@ from repro.obs.metrics import (
     explorer_metrics,
     run_metrics,
     shard_metrics,
+    stream_metrics,
 )
 from repro.obs.stall import (
     CAUSE_ORDER,
@@ -34,35 +46,62 @@ from repro.obs.stall import (
     render_stall_table,
     stall_breakdown,
 )
+from repro.obs.progress import (
+    STATUS_SCHEMA,
+    CampaignMonitor,
+    ProgressEngine,
+    render_status,
+)
+from repro.obs.stream import (
+    HeartbeatWriter,
+    SpoolReader,
+    StreamFold,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
+    OBS_CLOCK,
+    OBS_CLOCK_EPOCH,
     RecordingTracer,
     TraceEvent,
     Tracer,
+    now_us,
 )
 
 __all__ = [
     "CAUSE_ORDER",
+    "CampaignMonitor",
     "Counter",
+    "HeartbeatWriter",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "OBS_CLOCK",
+    "OBS_CLOCK_EPOCH",
+    "ProgressEngine",
     "RecordingTracer",
+    "STATUS_SCHEMA",
+    "SpoolReader",
+    "StreamFold",
     "Timer",
     "TraceEvent",
     "Tracer",
     "chrome_trace",
     "explorer_metrics",
+    "now_us",
     "render_event_stream",
     "render_stall_comparison",
     "render_stall_table",
+    "render_status",
     "run_metrics",
     "shard_metrics",
     "stall_breakdown",
+    "stream_metrics",
     "validate_chrome_trace",
     "validate_chrome_trace_file",
+    "validate_status",
+    "validate_status_file",
     "write_chrome_trace",
     "write_jsonl",
 ]

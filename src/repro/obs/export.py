@@ -197,19 +197,121 @@ def validate_chrome_trace_file(path: str) -> List[str]:
     return validate_chrome_trace(obj)
 
 
+def validate_status(obj: Any) -> List[str]:
+    """Structural check of a ``repro-status/1`` campaign snapshot.
+
+    Returns problems (empty list == valid).  Checks the schema id, the
+    clock contract, monotone-safe numeric fields (``seq``, timestamps,
+    ``completion`` in ``[0, 1]``, ``eta_s`` null-or-nonnegative), the
+    state enum, and the shape of the workers/health/stream sections.
+    """
+    from repro.obs.progress import STATUS_SCHEMA
+    from repro.obs.tracer import OBS_CLOCK
+
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    if obj.get("schema") != STATUS_SCHEMA:
+        problems.append(
+            f"schema: expected {STATUS_SCHEMA!r}, got {obj.get('schema')!r}"
+        )
+    clock = obj.get("clock")
+    if not isinstance(clock, dict) or clock.get("id") != OBS_CLOCK:
+        problems.append(f"clock: expected id {OBS_CLOCK!r}, got {clock!r}")
+    elif not clock.get("epoch"):
+        problems.append("clock: missing epoch contract")
+    for fld in ("seq", "ts_us", "started_us"):
+        value = obj.get(fld)
+        if not isinstance(value, int) or value < 0:
+            problems.append(f"{fld}: expected nonnegative int, got {value!r}")
+    if obj.get("state") not in ("running", "done", "failed"):
+        problems.append(f"state: bad value {obj.get('state')!r}")
+    progress = obj.get("progress")
+    if not isinstance(progress, dict):
+        problems.append("progress: missing or not an object")
+    else:
+        completion = progress.get("completion")
+        if (
+            not isinstance(completion, (int, float))
+            or not 0.0 <= completion <= 1.0
+        ):
+            problems.append(f"progress.completion: bad value {completion!r}")
+        eta = progress.get("eta_s")
+        if eta is not None and (
+            not isinstance(eta, (int, float)) or eta < 0
+        ):
+            problems.append(f"progress.eta_s: bad value {eta!r}")
+        units = progress.get("units")
+        if not isinstance(units, dict) or not all(
+            isinstance(units.get(k), int) for k in ("done", "total")
+        ):
+            problems.append(f"progress.units: bad value {units!r}")
+        if obj.get("state") == "done":
+            if completion != 1.0:
+                problems.append(
+                    f"progress.completion: {completion!r} in done state"
+                )
+            if eta != 0.0:
+                problems.append(f"progress.eta_s: {eta!r} in done state")
+    workers = obj.get("workers")
+    if not isinstance(workers, list):
+        problems.append("workers: missing or not an array")
+    else:
+        for index, row in enumerate(workers):
+            where = f"workers[{index}]"
+            if not isinstance(row, dict):
+                problems.append(f"{where}: not an object")
+                continue
+            for fld in ("id", "pid", "role", "state", "silent_s"):
+                if fld not in row:
+                    problems.append(f"{where}: missing {fld!r}")
+            if row.get("state") not in ("ok", "silent"):
+                problems.append(f"{where}: bad state {row.get('state')!r}")
+    for section in ("health", "stream", "totals"):
+        if not isinstance(obj.get(section), dict):
+            problems.append(f"{section}: missing or not an object")
+    verdicts = obj.get("verdicts")
+    if verdicts is not None and not isinstance(verdicts, list):
+        problems.append("verdicts: not an array")
+    return problems
+
+
+def validate_status_file(path: str) -> List[str]:
+    """Load a status snapshot and validate it (JSON errors == problems)."""
+    try:
+        with open(path) as handle:
+            obj = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"]
+    return validate_status(obj)
+
+
 def main(argv: Iterable[str] = None) -> int:
-    """``python -m repro.obs.export --validate FILE [FILE ...]``"""
+    """``python -m repro.obs.export --validate FILE... | --validate-status FILE...``"""
     import argparse
 
     parser = argparse.ArgumentParser(
         prog="repro.obs.export",
-        description="Validate Chrome trace-event JSON files",
+        description=(
+            "Validate Chrome trace-event JSON files and repro-status "
+            "campaign snapshots"
+        ),
     )
-    parser.add_argument("--validate", nargs="+", metavar="FILE", required=True)
+    parser.add_argument("--validate", nargs="+", metavar="FILE", default=[])
+    parser.add_argument(
+        "--validate-status", nargs="+", metavar="FILE", default=[]
+    )
     args = parser.parse_args(argv if argv is None else list(argv))
+    if not args.validate and not args.validate_status:
+        parser.error("nothing to do: pass --validate or --validate-status")
     status = 0
-    for path in args.validate:
-        problems = validate_chrome_trace_file(path)
+    checks = [
+        (path, validate_chrome_trace_file) for path in args.validate
+    ] + [
+        (path, validate_status_file) for path in args.validate_status
+    ]
+    for path, check in checks:
+        problems = check(path)
         if problems:
             status = 1
             print(f"{path}: INVALID")

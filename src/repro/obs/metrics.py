@@ -245,3 +245,33 @@ def store_metrics(
     for name, value in stats.as_dict().items():
         registry.counter(f"{prefix}.{name}").inc(value)
     return registry
+
+
+def stream_metrics(
+    fold,
+    reader=None,
+    registry: Optional[MetricsRegistry] = None,
+    prefix: str = "stream",
+) -> MetricsRegistry:
+    """Fold a live :class:`~repro.obs.stream.StreamFold` into a registry.
+
+    Surfaces the heartbeat channel's health (workers seen, beats folded,
+    checksum-dropped lines) and the exactly-once deduped task totals --
+    including ``duplicate_tasks_skipped``, the count of crash-resubmitted
+    task records whose counters were *not* double-folded.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    registry.counter(f"{prefix}.workers").value = len(fold.workers)
+    registry.counter(f"{prefix}.beats").inc(fold.beats)
+    registry.counter(f"{prefix}.tasks").inc(fold.tasks)
+    registry.counter(f"{prefix}.duplicate_tasks_skipped").inc(
+        fold.duplicates_skipped
+    )
+    registry.counter(f"{prefix}.stalls").inc(len(fold.stalls))
+    for name, value in sorted(fold.totals.items()):
+        registry.counter(f"{prefix}.totals.{name}").inc(value)
+    if reader is not None:
+        registry.counter(f"{prefix}.spools").value = reader.spools_seen
+        registry.counter(f"{prefix}.records").inc(reader.records_read)
+        registry.counter(f"{prefix}.dropped_lines").inc(reader.dropped_lines)
+    return registry

@@ -32,9 +32,39 @@ Event kinds follow the Chrome trace-event phases they export to:
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, MutableSequence, Optional
+
+#: Identifier of the shared obs timebase, stamped into status snapshots
+#: and heartbeat spool headers so a reader never mistakes a monotonic
+#: timestamp for wall-clock time.
+OBS_CLOCK = "monotonic-us"
+
+#: Human-readable epoch contract for :data:`OBS_CLOCK`, embedded in the
+#: status-snapshot schema.
+OBS_CLOCK_EPOCH = (
+    "CLOCK_MONOTONIC with an undefined epoch (host boot on Linux): "
+    "timestamps are meaningless in isolation and comparable only "
+    "against other obs timestamps taken on the same host while it "
+    "stays up -- including across fork workers, which share the clock"
+)
+
+
+def now_us() -> int:
+    """The one obs wall-time clock: monotonic microseconds.
+
+    Every obs *wall-clock* timestamp -- engine dispatch spans, heartbeat
+    records in the streaming spool, status-snapshot fields, checkpoint
+    journal stamps -- reads this clock, so they are mutually comparable
+    within a run and across the run's forked worker processes (POSIX
+    ``CLOCK_MONOTONIC`` is system-wide, unlike ``perf_counter`` whose
+    epoch is unspecified per-process on some platforms).  The per-domain
+    integer clocks (simulator cycles, explorer transitions) are *not*
+    this clock and remain domain-local by design.
+    """
+    return time.monotonic_ns() // 1_000
 
 
 class TraceEvent:

@@ -215,6 +215,7 @@ def chaos_sweep(
     violating_plans: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
     cache_dir: Optional[str] = None,
+    monitor=None,
 ) -> ChaosReport:
     """Run the full chaos suite and return its report.
 
@@ -228,6 +229,12 @@ def chaos_sweep(
     skips the oracle entirely and reuses per-plan hardware summaries
     (the run keys include the fault plan via the config repr, so plans
     never cross-contaminate).
+
+    ``monitor`` (a :class:`~repro.obs.progress.CampaignMonitor`) makes
+    the suite watchable: the chaos harness claims the campaign plan --
+    one unit per sweep plan plus one per violating-plan probe -- and the
+    per-plan engines share the monitor for heartbeats without re-planning
+    it (their :meth:`claim_plan` returns ``False``).
     """
     from repro.hw import POLICY_FACTORIES
     from repro.litmus.catalog import by_name
@@ -262,13 +269,34 @@ def chaos_sweep(
 
     def engine() -> VerificationEngine:
         return VerificationEngine(
-            jobs=jobs, sc_cache=sc_cache, drf0_cache=drf0_cache, store=store
+            jobs=jobs, sc_cache=sc_cache, drf0_cache=drf0_cache, store=store,
+            monitor=monitor,
         )
+
+    probe_seeds = seeds[:2] or [0]
+    probes_per_plan = len(programs) * len(factories) * len(probe_seeds)
+    owns_plan = monitor is not None and monitor.claim_plan()
+    if owns_plan:
+        monitor.plan(
+            [("baseline", 1, 0.0)]
+            + [(f"plan/{name}", 1, 0.0) for name in preserving_plans]
+            + [
+                (f"probe/{name}", probes_per_plan, 0.0)
+                for name in violating_plans
+            ]
+        )
+        monitor.poll(force=True)
+
+    def plan_tick(cell: int, units: int = 1) -> None:
+        if owns_plan:
+            monitor.unit_done(cell, units)
+            monitor.poll()
 
     say("baseline sweep (no faults)")
     baseline = _verdict_map(
         engine().definition2_sweep(programs, factories, config, seeds=seeds)
     )
+    plan_tick(0)
 
     report = ChaosReport(
         programs=list(program_names),
@@ -277,7 +305,7 @@ def chaos_sweep(
         baseline_verdicts=baseline,
     )
 
-    for plan_name in preserving_plans:
+    for plan_index, plan_name in enumerate(preserving_plans):
         plan = DELIVERY_PRESERVING_PLANS[plan_name]
         say(f"plan {plan_name} (delivery-preserving)")
         outcome = PlanOutcome(plan=plan_name, delivery_preserving=True)
@@ -298,15 +326,16 @@ def chaos_sweep(
             programs[0], factories[policy_names[0]], cfg, seeds[:2]
         )
         report.outcomes.append(outcome)
+        plan_tick(1 + plan_index)
 
-    probe_seeds = seeds[:2] or [0]
-    for plan_name in violating_plans:
+    for probe_index, plan_name in enumerate(violating_plans):
         plan = DELIVERY_VIOLATING_PLANS[plan_name]
         say(f"plan {plan_name} (delivery-violating)")
         outcome = PlanOutcome(plan=plan_name, delivery_preserving=False)
         cfg = replace(
             config, fault_plan=plan, watchdog_cycles=watchdog_cycles
         )
+        probe_cell = 1 + len(preserving_plans) + probe_index
         for program in programs:
             for name, factory in factories.items():
                 for seed in probe_seeds:
@@ -330,6 +359,7 @@ def chaos_sweep(
                         )
                     else:
                         outcome.completed += 1
+                    plan_tick(probe_cell)
         report.outcomes.append(outcome)
 
     if store is not None:

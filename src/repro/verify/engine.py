@@ -77,6 +77,7 @@ across processes and across runs, three ways:
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import signal
@@ -102,6 +103,8 @@ from repro.core.parallel import ShardStats
 from repro.core.execution import Result
 from repro.machine.generator import GeneratorConfig
 from repro.machine.program import Program
+from repro.obs import stream as obs_stream
+from repro.obs.tracer import now_us as _obs_now_us
 from repro.sim.system import SystemConfig, run_on_hardware
 from repro.verify.cache import (
     DRF0VerdictCache,
@@ -332,46 +335,122 @@ def _worker_init() -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
-def _execute_task(task: tuple):
-    """Worker dispatch: map one task tuple to its (picklable) value."""
+def _task_label(task: tuple) -> str:
+    """Short human-readable task id for heartbeat records."""
+    kind = task[0]
+    if kind == "run":
+        return f"run:cell{task[1]}x{len(task[2])}"
+    if kind == "judge":
+        return f"judge:cell{task[1]}"
+    if kind == "drf0":
+        return f"drf0:prog{task[1]}"
+    if kind == "fuzz":
+        return f"fuzz:seed{task[1]}"
+    return str(kind)
+
+
+def _execute_task(task: tuple, tag: Optional[tuple] = None):
+    """Worker dispatch: map one task tuple to its (picklable) value.
+
+    ``tag`` is the telemetry identity ``(batch, index, generation)`` of
+    this dispatch: when a campaign monitor has published a heartbeat
+    spool, the worker emits a liveness beat on entry, periodic beats
+    while chewing through a run chunk, and an exactly-once ``task``
+    record (keyed ``batch:index`` with the resubmission generation) on
+    completion so the parent's fold can dedupe crash-resubmitted work.
+    With telemetry off, ``writer`` is ``None`` and every hook below is a
+    single comparison.
+    """
     ctx = _TASK_CONTEXT
     assert ctx is not None, "task executed outside an engine session"
     kind = task[0]
-    for failpoint in ctx.failpoints:
-        if failpoint.task_kind in ("*", kind):
-            _maybe_fire_failpoint(failpoint)
-    if kind == "run":
-        _, cell_index, seeds = task
-        cell = ctx.cells[cell_index]
-        return [_run_one(cell, seed) for seed in seeds]
-    if kind == "judge":
-        _, cell_index, result = task
-        stats = ExplorerStats()
-        verdict = is_sc_result(
-            ctx.cells[cell_index].program, result, stats=stats
-        )
-        return verdict, stats
-    if kind == "drf0":
-        _, program_index = task
-        program = ctx.programs[program_index]
-        if ctx.exhaustive_drf0:
-            report = check_program(program)
+    writer = obs_stream.worker_writer()
+    gen = tag[2] if tag is not None else 0
+    label = _task_label(task) if writer is not None else None
+    if writer is not None:
+        writer.beat(task=label, gen=gen)
+    try:
+        for failpoint in ctx.failpoints:
+            if failpoint.task_kind in ("*", kind):
+                _maybe_fire_failpoint(failpoint)
+        if kind == "run":
+            _, cell_index, seeds = task
+            cell = ctx.cells[cell_index]
+            value: object
+            if writer is None:
+                value = [_run_one(cell, seed) for seed in seeds]
+            else:
+                summaries = []
+                for seed in seeds:
+                    summaries.append(_run_one(cell, seed))
+                    writer.add(runs=1)
+                    writer.beat(task=label, gen=gen)
+                value = summaries
+            deltas = {"runs": len(seeds)}
+        elif kind == "judge":
+            _, cell_index, result = task
+            stats = ExplorerStats()
+            verdict = is_sc_result(
+                ctx.cells[cell_index].program, result, stats=stats
+            )
+            value = (verdict, stats)
+            deltas = {"judges": 1, "states": stats.states}
+        elif kind == "drf0":
+            _, program_index = task
+            program = ctx.programs[program_index]
+            if ctx.exhaustive_drf0:
+                report = check_program(program)
+            else:
+                report = check_program_sampled(program, seeds=ctx.drf0_seeds)
+            value = (report.obeys, report.stats)
+            deltas = {
+                "drf0": 1,
+                "states": report.stats.states if report.stats else 0,
+            }
+        elif kind == "fuzz":
+            _, seed = task
+            value = _fuzz_task(seed, ctx)
+            _outcome, new_verdicts, (hits, misses) = value
+            deltas = {
+                "fuzz_seeds": 1,
+                "sc_hits": hits,
+                "sc_misses": misses,
+                "states": sum(new.states for new in new_verdicts),
+            }
         else:
-            report = check_program_sampled(program, seeds=ctx.drf0_seeds)
-        return report.obeys, report.stats
-    if kind == "fuzz":
-        _, seed = task
-        return _fuzz_task(seed, ctx)
-    raise ValueError(f"unknown task kind {kind!r}")
+            raise ValueError(f"unknown task kind {kind!r}")
+    except Exception as exc:
+        if writer is not None:
+            diagnose = getattr(exc, "diagnosis", None)
+            diagnosis = (
+                diagnose() if callable(diagnose)
+                else f"{type(exc).__name__}: {exc}"
+            )
+            writer.stall(diagnosis, task=label)
+            writer.beat(task=label, gen=gen, force=True)
+        raise
+    if writer is not None:
+        if kind != "run":  # run counters already accumulated per seed
+            writer.add(**deltas)
+        if tag is not None:
+            writer.task_done(f"{tag[0]}:{tag[1]}", gen, deltas)
+        writer.beat(task=label, gen=gen)
+    return value
 
 
 def _now_us() -> int:
-    """Wall-clock microseconds (the engine's trace clock)."""
-    return time.perf_counter_ns() // 1_000
+    """Wall-clock microseconds -- the shared obs clock, so engine trace
+    spans are directly comparable with heartbeat and snapshot stamps."""
+    return _obs_now_us()
 
 
 #: Sentinel marking a task slot whose value has not been produced yet.
 _UNSET = object()
+
+#: Process-wide telemetry batch counter: every :meth:`_Session.map` call
+#: gets a fresh batch id so ``batch:index`` task keys are unique across
+#: all engines sharing one campaign monitor (chaos runs several).
+_TELEMETRY_BATCH = itertools.count(1)
 
 
 def _balanced_chunks(items: Sequence, size: int) -> List[tuple]:
@@ -438,13 +517,18 @@ class _Session:
         start = _now_us() if observed else 0
         self.task_seconds = [0.0] * len(tasks)
         if self._pool is None:
+            batch = next(_TELEMETRY_BATCH)
             values = []
             for index, task in enumerate(tasks):
                 task_start = time.perf_counter()
-                value = _execute_task(task)
-                self.task_seconds[index] = time.perf_counter() - task_start
+                value = _execute_task(task, (batch, index, 0))
+                seconds = time.perf_counter() - task_start
+                self.task_seconds[index] = seconds
                 if on_result is not None:
                     on_result(index, task, value)
+                if engine is not None:
+                    engine._task_landed(task, seconds)
+                obs_stream.parent_poll()
                 values.append(value)
         else:
             values = self._map_resilient(tasks, on_result)
@@ -493,6 +577,7 @@ class _Session:
         ready = deque(range(len(tasks)))
         attempts: Dict[int, int] = {}
         inflight: Dict[int, Tuple[object, float]] = {}
+        batch = next(_TELEMETRY_BATCH)
 
         def finish(
             index: int, value: object, seconds: float = 0.0
@@ -501,13 +586,17 @@ class _Session:
             self.task_seconds[index] = seconds
             if on_result is not None:
                 on_result(index, tasks[index], value)
+            if engine is not None:
+                engine._task_landed(tasks[index], seconds)
 
         def resubmit_or_degrade(index: int) -> None:
             attempts[index] = attempts.get(index, 0) + 1
             if attempts[index] > max_retries:
                 bump("degraded_to_serial")
                 serial_start = time.perf_counter()
-                value = _execute_task(tasks[index])
+                value = _execute_task(
+                    tasks[index], (batch, index, attempts[index])
+                )
                 finish(index, value, time.perf_counter() - serial_start)
                 return
             bump("tasks_retried")
@@ -522,13 +611,16 @@ class _Session:
                     continue  # a duplicate submission already completed it
                 try:
                     handle = self._pool.apply_async(
-                        _execute_task, (tasks[index],)
+                        _execute_task,
+                        (tasks[index], (batch, index, attempts.get(index, 0))),
                     )
                 except Exception:
                     # The pool itself is unusable; finish in-process.
                     bump("degraded_to_serial")
                     serial_start = time.perf_counter()
-                    value = _execute_task(tasks[index])
+                    value = _execute_task(
+                        tasks[index], (batch, index, attempts.get(index, 0))
+                    )
                     finish(index, value, time.perf_counter() - serial_start)
                     continue
                 inflight[index] = (handle, time.monotonic())
@@ -537,6 +629,7 @@ class _Session:
 
             # Wait briefly on one handle, then scan them all.
             next(iter(inflight.values()))[0].wait(0.02)
+            obs_stream.parent_poll()
 
             pids = self._pool_pids()
             workers_died = bool(self._worker_pids - pids) if pids else False
@@ -621,6 +714,14 @@ class VerificationEngine:
             it is computed.
         cache_dir: Convenience: build a :class:`VerdictStore` on this
             directory (ignored when ``store`` is given).
+        monitor: Optional
+            :class:`~repro.obs.progress.CampaignMonitor`.  The engine
+            registers its plan (cells x seeds, store-costed) with the
+            first monitor that grants :meth:`~repro.obs.progress.
+            CampaignMonitor.claim_plan`, ticks completion as tasks land,
+            and exposes its live resilience counters; workers stream
+            heartbeats through the monitor's published spool.  Telemetry
+            never touches results -- outputs stay bit-identical.
     """
 
     def __init__(
@@ -638,6 +739,7 @@ class VerificationEngine:
         failpoints: Sequence[Failpoint] = (),
         store: Optional[VerdictStore] = None,
         cache_dir: Optional[str] = None,
+        monitor=None,
     ) -> None:
         if not jobs:
             jobs = os.cpu_count() or 1
@@ -665,6 +767,13 @@ class VerificationEngine:
             tracer = NULL_TRACER
         self.tracer = tracer
         self.metrics = metrics
+        self.monitor = monitor
+        #: Whether *this* engine owns the monitor's campaign plan (the
+        #: first engine to claim it does; chaos' helper engines share a
+        #: monitor and only heartbeat).
+        self._owns_plan = False
+        if monitor is not None:
+            monitor.attach_resilience(self.resilience)
         #: Aggregate exploration counters from every oracle task this
         #: engine dispatched (guided SC-membership searches and exhaustive
         #: DRF0 verdicts).  Cache hits add nothing -- the counters measure
@@ -702,6 +811,30 @@ class VerificationEngine:
     def can_fork(self) -> bool:
         """Whether a worker pool is actually available on this platform."""
         return "fork" in multiprocessing.get_all_start_methods()
+
+    def _task_landed(self, task: tuple, seconds: float = 0.0) -> None:
+        """Progress tick: one task's value just folded into the parent.
+
+        Fires exactly once per task slot (the session's ``finish`` path
+        guards duplicates), so monitor completion counts stay truthful
+        under crash resubmission.  Only the plan-owning engine ticks
+        units; every engine polls so the status file stays fresh.
+        """
+        monitor = self.monitor
+        if monitor is None:
+            return
+        if self._owns_plan:
+            kind = task[0]
+            if kind == "run":
+                monitor.unit_done(task[1], len(task[2]))
+                monitor.observe_cell_us(task[1], seconds * 1e6)
+            elif kind == "drf0":
+                monitor.extra_done("drf0")
+            elif kind == "judge":
+                monitor.extra_done("judge")
+            elif kind == "fuzz":
+                monitor.unit_done(0, 1)
+        monitor.poll()
 
     @contextmanager
     def _session(self, context: _TaskContext):
@@ -1061,6 +1194,9 @@ class VerificationEngine:
                     fingerprint, result, verdict, program=program
                 )
 
+        if self._owns_plan and pending:
+            self.monitor.add_extra("judge", len(pending))
+
         pooled_count = len(pending) - len(sharded)
         values = session.map(
             [
@@ -1073,12 +1209,15 @@ class VerificationEngine:
         for cell_index, result in sharded:
             shard_start = time.perf_counter()
             value = self._judge_sharded(cells[cell_index].program, result)
-            task_seconds.append(time.perf_counter() - shard_start)
+            seconds = time.perf_counter() - shard_start
+            task_seconds.append(seconds)
             values.append(value)
             if on_result is not None:
                 on_result(
                     len(values) - 1, ("judge", cell_index, result), value
                 )
+            # Sharded judges bypass the session, so tick progress here.
+            self._task_landed(("judge", cell_index, result), seconds)
         for (cell_index, result), (verdict, stats) in zip(pending, values):
             self.explorer_stats.merge(stats)
             program = cells[cell_index].program
@@ -1158,6 +1297,9 @@ class VerificationEngine:
         config = config or SystemConfig()
         seeds = list(seeds)
         cell = _SweepCell(program, policy_factory, config, check_51_conditions)
+        if self.monitor is not None and self.monitor.claim_plan():
+            self._owns_plan = True
+            self.monitor.plan([(program.name, len(seeds), 0.0)])
         with self._session(_TaskContext(cells=(cell,))) as session:
             return self._run_cells(session, [cell], seeds)[0]
 
@@ -1177,6 +1319,12 @@ class VerificationEngine:
         identities = self._cell_identities(cells)
         per_cell: List[List[Optional[RunSummary]]] = [[None] * len(seeds)]
         run_keys = self._fill_from_store(cells, seeds, per_cell, identities)
+        if self.monitor is not None and self.monitor.claim_plan():
+            self._owns_plan = True
+            self.monitor.plan([(program.name, len(seeds), 0.0)])
+            filled = sum(1 for summary in per_cell[0] if summary is not None)
+            if filled:
+                self.monitor.prefill(0, filled)
         with self._session(_TaskContext(cells=(cell,))) as session:
             tasks, positions = self._plan_run_tasks(
                 cells, seeds, per_cell, identities
@@ -1289,6 +1437,32 @@ class VerificationEngine:
             journal.open(signature, fresh=not resume)
 
         identities = self._cell_identities(cells)
+        if self.monitor is not None and self.monitor.claim_plan():
+            self._owns_plan = True
+            policy_names = [
+                name for _ in programs for name in policy_factories
+            ]
+            expected = [0.0] * len(cells)
+            if identities is not None:
+                state = self.store.warm()
+                for index, (fingerprint, policy_name) in enumerate(
+                    identities
+                ):
+                    cost = state.costs.get(
+                        cell_key(fingerprint, policy_name)
+                    )
+                    if cost:
+                        expected[index] = cost.us_per_run
+            self.monitor.plan(
+                [
+                    (
+                        f"{cell.program.name}/{policy_names[index]}",
+                        len(seeds),
+                        expected[index],
+                    )
+                    for index, cell in enumerate(cells)
+                ]
+            )
         drf0_mode: object = (
             "exhaustive" if exhaustive_drf0 else ("sampled", drf0_tuple)
         )
@@ -1316,6 +1490,17 @@ class VerificationEngine:
                 run_keys = self._fill_from_store(
                     cells, seeds, per_cell, identities
                 )
+                if self._owns_plan:
+                    for cell_index in range(len(cells)):
+                        filled = sum(
+                            1
+                            for summary in per_cell[cell_index]
+                            if summary is not None
+                        )
+                        if filled:
+                            self.monitor.prefill(cell_index, filled)
+                    self.monitor.add_extra("drf0", len(drf0_pending))
+                    self.monitor.poll(force=True)
                 run_tasks, task_positions = self._plan_run_tasks(
                     cells, seeds, per_cell, identities
                 )
@@ -1416,6 +1601,9 @@ class VerificationEngine:
             fuzz_hardware_seeds=tuple(hardware_seeds),
             check_cross_enumerators=check_cross_enumerators,
         )
+        if self.monitor is not None and self.monitor.claim_plan():
+            self._owns_plan = True
+            self.monitor.plan([("fuzz", len(seeds), 0.0)])
         # Reset the (module-global, fork-inherited) worker memo to exactly
         # what this engine's cache knows: leftovers from an earlier
         # campaign in this process would turn misses into hits and make
@@ -1473,6 +1661,7 @@ class VerificationEngine:
             explorer_metrics,
             shard_metrics,
             store_metrics,
+            stream_metrics,
         )
 
         registry = registry if registry is not None else (
@@ -1496,4 +1685,11 @@ class VerificationEngine:
             self.explorer_stats, registry, prefix="engine.explorer"
         )
         shard_metrics(self.shard_stats, registry, prefix="engine.explore")
+        if self.monitor is not None:
+            stream_metrics(
+                self.monitor.fold,
+                reader=self.monitor.reader,
+                registry=registry,
+                prefix="engine.stream",
+            )
         return registry

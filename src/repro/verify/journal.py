@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, IO, List, Optional, Sequence, Tuple
 
 from repro.core.execution import Result
+from repro.obs.tracer import OBS_CLOCK, now_us
 
 
 class JournalError(RuntimeError):
@@ -161,7 +162,17 @@ class CheckpointJournal:
         write_meta = mode == "w"
         self._fh = open(self.path, mode, encoding="utf-8")
         if write_meta:
-            self._write({"kind": "meta", "signature": signature})
+            # ts_us/clock stamp the journal onto the shared obs timebase
+            # (comparable with heartbeat and snapshot timestamps); the
+            # loader reads by key, so older journals without them load.
+            self._write(
+                {
+                    "kind": "meta",
+                    "signature": signature,
+                    "ts_us": now_us(),
+                    "clock": OBS_CLOCK,
+                }
+            )
 
     def _write(self, record: dict) -> None:
         assert self._fh is not None, "journal not open"
