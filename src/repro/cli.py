@@ -19,8 +19,21 @@ Commands:
 * ``chaos`` -- the resilience suite: every delivery-preserving fault plan
   must leave the Definition-2 verdict table untouched, every
   delivery-violating plan must be flagged by the liveness machinery;
+  ``--service DIR`` adds the process-level half -- kill fleet workers
+  mid-campaign and SIGKILL/restart the daemon itself, then require the
+  evidence rows byte-identical to a serial in-process sweep;
 * ``cache DIR {stats,audit,compact}`` -- inspect, re-judge, or compact a
   persistent verdict store (the directory ``--cache-dir`` writes);
+* ``serve DIR`` -- the fault-tolerant campaign daemon: accepts
+  verification campaigns over a local HTTP/JSON protocol, shards them
+  across a supervised worker fleet (leases, retries with backoff,
+  circuit-breaker serial degradation), checkpoints through the journal,
+  and resumes mid-flight campaigns after a restart (``docs/service.md``);
+* ``submit [NAME ...]`` -- send a campaign to a running daemon and print
+  the same evidence table ``sweep`` prints (daemon answers repeat
+  submissions from its shared verdict store);
+* ``campaigns [ID]`` -- list or inspect a daemon's campaigns, stream a
+  campaign's status-snapshot history, or ask the daemon to drain;
 * ``status PATH`` / ``top PATH`` -- render a live campaign's
   ``--status-json`` snapshot once, or as a refreshing stdlib-ANSI view
   (``sweep``/``fuzz``/``chaos``/``drf0`` all accept ``--status-json``);
@@ -433,6 +446,26 @@ def cmd_simulate(args) -> int:
 DEFAULT_SWEEP_PROGRAMS = ["MP+sync", "SB+sync", "TAS", "lock", "SB"]
 
 
+def _print_evidence_table(rows) -> None:
+    """The Definition-2 evidence table -- shared by ``sweep`` and
+    ``submit`` so a daemon campaign's output diffs clean against the
+    batch path's."""
+    print(
+        f"{'program':<14}{'DRF0':<7}{'policy':<22}{'appears-SC':<12}"
+        f"{'distinct':<10}{'5.1-viol':<10}{'mean cycles'}"
+    )
+    for row in rows:
+        print(
+            f"{row['program']:<14}"
+            f"{'yes' if row['program_drf0'] else 'no':<7}"
+            f"{row['policy']:<22}"
+            f"{'yes' if row['appears_sc'] else 'NO':<12}"
+            f"{row['distinct_results']:<10}"
+            f"{len(row['condition_violations']):<10}"
+            f"{row['mean_cycles']:.1f}"
+        )
+
+
 def cmd_sweep(args) -> int:
     from repro.sim.system import LivenessError
     from repro.verify.engine import VerificationEngine
@@ -510,20 +543,7 @@ def cmd_sweep(args) -> int:
             file=sys.stderr,
         )
         engine.store.close()
-    print(
-        f"{'program':<14}{'DRF0':<7}{'policy':<22}{'appears-SC':<12}"
-        f"{'distinct':<10}{'5.1-viol':<10}{'mean cycles'}"
-    )
-    for row in evidence.rows:
-        print(
-            f"{row['program']:<14}"
-            f"{'yes' if row['program_drf0'] else 'no':<7}"
-            f"{row['policy']:<22}"
-            f"{'yes' if row['appears_sc'] else 'NO':<12}"
-            f"{row['distinct_results']:<10}"
-            f"{len(row['condition_violations']):<10}"
-            f"{row['mean_cycles']:.1f}"
-        )
+    _print_evidence_table(evidence.rows)
     holds = evidence.contract_holds
     if monitor is not None:
         # The snapshot embeds the evidence rows verbatim, so the final
@@ -808,6 +828,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", metavar="DIR", default=None,
                    help="persistent verdict store shared by the baseline "
                         "and every fault plan (and across chaos runs)")
+    p.add_argument("--service", metavar="DIR", default=None,
+                   help="process-level chaos instead: run a campaign "
+                        "daemon on DIR, kill fleet workers mid-campaign "
+                        "(and SIGKILL/restart the daemon), and require "
+                        "evidence byte-identical to a serial sweep")
+    p.add_argument("--service-kills", type=int, default=2, metavar="N",
+                   help="with --service: crash failpoints to arm "
+                        "(worker deaths injected; default: 2)")
+    p.add_argument("--service-no-restart", action="store_true",
+                   help="with --service: skip the daemon SIGKILL/restart "
+                        "round (worker kills only)")
     add_status_arg(p)
     p.set_defaults(func=cmd_chaos)
 
@@ -824,6 +855,95 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="stats: machine-readable output")
     p.set_defaults(func=cmd_cache)
+
+    def add_service_client_args(p):
+        p.add_argument("--state-dir", metavar="DIR", default=None,
+                       help="daemon state directory (the client reads its "
+                            "endpoint.json to find the bound port)")
+        p.add_argument("--host", default="127.0.0.1",
+                       help="daemon host when not using --state-dir")
+        p.add_argument("--port", type=int, default=0,
+                       help="daemon port when not using --state-dir")
+
+    p = sub.add_parser(
+        "serve",
+        help="fault-tolerant campaign daemon (supervised worker fleet)",
+    )
+    p.add_argument("state_dir", metavar="DIR",
+                   help="daemon state directory: verdict store, campaign "
+                        "specs, journals, status snapshots, endpoint.json")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port (default 0 = ephemeral; clients read "
+                        "endpoint.json from the state directory)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="fleet worker processes (default: 2)")
+    p.add_argument("--queue-limit", type=int, default=8,
+                   help="pending campaigns before submissions get 429 + "
+                        "Retry-After backpressure (default: 8)")
+    p.add_argument("--task-timeout", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="lease timeout: a task stuck longer gets its "
+                        "worker killed and the lease reassigned")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="per-task retry budget (exponential backoff + "
+                        "jitter) before the circuit breaker degrades the "
+                        "cell to in-daemon serial execution")
+    p.add_argument("--retry-backoff", type=float, default=0.05,
+                   metavar="SECONDS",
+                   help="base delay of the retry backoff schedule")
+    p.add_argument("--heartbeat-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="also reclaim a lease when its worker stops "
+                        "heartbeating for this long (default: off)")
+    p.add_argument("--keep-journals", type=int, default=3,
+                   help="terminal campaigns whose checkpoint journals "
+                        "survive the retention GC (default: 3)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a campaign to a running daemon and print its "
+             "evidence table",
+    )
+    p.add_argument("names", nargs="*",
+                   help=f"programs to sweep (default: {DEFAULT_SWEEP_PROGRAMS})")
+    add_service_client_args(p)
+    p.add_argument("--policy", action="append", type=_canon_policy,
+                   choices=sorted(POLICY_FACTORIES), metavar="POLICY",
+                   help="policy to include, repeatable (default: all except "
+                        "the broken 'relaxed' strawman)")
+    p.add_argument("--seeds", type=int, default=20)
+    p.add_argument("--drf0-seeds", type=int, default=30,
+                   help="seeds for the sampled DRF0 premise check")
+    p.add_argument("--exhaustive-drf0", action="store_true",
+                   help="enumerate every interleaving for the DRF0 verdict")
+    p.add_argument("--check-51", action="store_true",
+                   help="run the Section-5.1 condition monitor on every run")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the campaign id and return immediately "
+                        "instead of waiting for the evidence table")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   metavar="SECONDS",
+                   help="how long to wait for the campaign to finish")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "campaigns",
+        help="list/inspect campaigns on a running daemon",
+    )
+    p.add_argument("id", nargs="?", default=None,
+                   help="campaign id for a detailed view")
+    add_service_client_args(p)
+    p.add_argument("--events", action="store_true",
+                   help="with ID: print its status-snapshot history "
+                        "as JSONL")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable listing")
+    p.add_argument("--shutdown", action="store_true",
+                   help="ask the daemon to drain and exit (the running "
+                        "campaign checkpoints and resumes on restart)")
+    p.set_defaults(func=cmd_campaigns)
 
     p = sub.add_parser(
         "status",
@@ -894,6 +1014,28 @@ def cmd_chaos(args) -> int:
         raise _usage_error(
             f"--jobs must be >= 0 (got {args.jobs}); 0 means one per CPU"
         )
+    if args.service:
+        from repro.verify.chaos import service_kill_chaos
+
+        if args.service_kills < 1:
+            raise _usage_error(
+                f"--service-kills must be >= 1 (got {args.service_kills})"
+            )
+        report = service_kill_chaos(
+            args.service,
+            worker_kills=args.service_kills,
+            daemon_restart=not args.service_no_restart,
+            progress=lambda message: print(
+                f"  .. {message}", file=sys.stderr
+            ),
+        )
+        print(json.dumps(report, indent=2, sort_keys=True))
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"report -> {args.report}", file=sys.stderr)
+        return 0 if report["ok"] else 1
     monitor = _make_monitor(args, f"chaos --seeds {args.seeds}")
     try:
         report = chaos_sweep(
@@ -917,6 +1059,163 @@ def cmd_chaos(args) -> int:
             handle.write("\n")
         print(f"report -> {args.report}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _service_client(args):
+    """Resolve a daemon client from ``--state-dir`` or ``--host/--port``.
+
+    The state-dir handshake is the normal path: a daemon started with
+    ``--port 0`` publishes its bound port in ``endpoint.json``.
+    """
+    from repro.service.client import ServiceClient
+
+    state_dir = getattr(args, "state_dir", None)
+    if state_dir:
+        return ServiceClient.from_state_dir(state_dir)
+    if not args.port:
+        raise _usage_error(
+            "need --state-dir DIR (reads the daemon's endpoint.json) "
+            "or an explicit --port N"
+        )
+    return ServiceClient(args.host, args.port)
+
+
+def cmd_serve(args) -> int:
+    """Run the campaign daemon until drained (SIGTERM / POST /shutdown)."""
+    from repro.service.daemon import CampaignDaemon
+
+    if args.workers < 1:
+        raise _usage_error(f"--workers must be >= 1 (got {args.workers})")
+    if args.queue_limit < 1:
+        raise _usage_error(
+            f"--queue-limit must be >= 1 (got {args.queue_limit})"
+        )
+    if args.max_retries < 0:
+        raise _usage_error(
+            f"--max-retries must be >= 0 (got {args.max_retries})"
+        )
+    daemon = CampaignDaemon(
+        args.state_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
+        heartbeat_timeout=args.heartbeat_timeout,
+        keep_journals=args.keep_journals,
+    )
+    print(
+        f"repro serve: state dir {daemon.state_dir} "
+        f"({args.workers} fleet workers; endpoint.json appears once bound)",
+        file=sys.stderr,
+    )
+    return daemon.serve_forever()
+
+
+def cmd_submit(args) -> int:
+    """Submit a campaign and (unless ``--no-wait``) print its evidence."""
+    from repro.service.client import ServiceError
+
+    names = args.names or DEFAULT_SWEEP_PROGRAMS
+    policy_names = args.policy or [
+        name for name in sorted(POLICY_FACTORIES) if name != "relaxed"
+    ]
+    spec = {
+        "programs": list(names),
+        "policies": list(policy_names),
+        "seeds": args.seeds,
+        "drf0_seeds": args.drf0_seeds,
+        "exhaustive_drf0": args.exhaustive_drf0,
+        "check_51": args.check_51,
+    }
+    try:
+        client = _service_client(args)
+        accepted = client.submit_with_backoff(spec)
+        cid = accepted["id"]
+        print(
+            f"campaign {cid} accepted "
+            f"({accepted.get('position', 0)} ahead in queue)",
+            file=sys.stderr,
+        )
+        if args.no_wait:
+            print(cid)
+            return 0
+        info = client.wait(cid, timeout=args.timeout)
+        if info.get("state") != "done":
+            print(
+                f"campaign {cid} failed: {info.get('error', 'unknown')}",
+                file=sys.stderr,
+            )
+            return 1
+        result = client.result(cid)
+    except ServiceError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 1
+    if result.get("resumed"):
+        print(
+            f"campaign {cid} resumed from its checkpoint journal",
+            file=sys.stderr,
+        )
+    _print_evidence_table(result["rows"])
+    holds = bool(result.get("contract_holds"))
+    print(f"\nDefinition-2 contract: {'holds' if holds else 'VIOLATED'}")
+    return 0 if holds else 1
+
+
+def cmd_campaigns(args) -> int:
+    """List/inspect a daemon's campaigns; ``--shutdown`` drains it."""
+    from repro.service.client import ServiceError
+
+    if args.events and not args.id:
+        raise _usage_error("--events needs a campaign ID")
+    try:
+        client = _service_client(args)
+        if args.shutdown:
+            client.shutdown()
+            print("daemon draining", file=sys.stderr)
+            return 0
+        if args.id:
+            if args.events:
+                for snap in client.events(args.id):
+                    print(json.dumps(snap, sort_keys=True))
+                return 0
+            print(
+                json.dumps(client.campaign(args.id), indent=2, sort_keys=True)
+            )
+            return 0
+        listed = client.campaigns()
+        health = client.health()
+    except ServiceError as exc:
+        print(f"repro campaigns: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(
+            json.dumps(
+                {"campaigns": listed, "health": health},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(
+        f"daemon pid {health['pid']}: {health['workers']} workers, "
+        f"{'draining' if health['draining'] else 'accepting'}"
+    )
+    print(f"{'id':<24}{'state':<10}{'progress':<10}signature")
+    for row in listed:
+        progress = row.get("progress")
+        rendered = (
+            f"{progress * 100:.0f}%"
+            if isinstance(progress, (int, float))
+            else "-"
+        )
+        print(
+            f"{row['id']:<24}{row['state']:<10}{rendered:<10}"
+            f"{row['signature'][:12]}"
+        )
+    return 0
 
 
 def cmd_fuzz(args) -> int:

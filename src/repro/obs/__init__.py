@@ -56,6 +56,7 @@ from repro.obs.stream import (
     HeartbeatWriter,
     SpoolReader,
     StreamFold,
+    prune_spool_dir,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -90,6 +91,7 @@ __all__ = [
     "chrome_trace",
     "explorer_metrics",
     "now_us",
+    "prune_spool_dir",
     "render_event_stream",
     "render_stall_comparison",
     "render_stall_table",

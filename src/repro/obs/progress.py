@@ -241,9 +241,15 @@ class CampaignMonitor:
         hb_interval: float = 0.25,
         on_snapshot=None,
         keep_spool: bool = False,
+        spool_dir: Optional[str] = None,
     ) -> None:
         self.status_path = status_path
-        self.spool_dir = status_path + ".spool"
+        # The daemon points every campaign monitor at its long-lived
+        # fleet spool (with keep_spool=True): workers are pre-spawned
+        # once and beat into a single directory across campaigns.
+        self.spool_dir = (
+            spool_dir if spool_dir is not None else status_path + ".spool"
+        )
         self.command = command
         self.interval_us = max(0, int(interval * 1e6))
         self.silent_after_us = max(0, int(silent_after * 1e6))
@@ -259,6 +265,7 @@ class CampaignMonitor:
         self.verdicts: Optional[List[dict]] = None
         self.result: Optional[dict] = None
         self._resilience: Optional[dict] = None
+        self._service: Optional[dict] = None
         self._plan_claimed = False
         self._last_write_us = 0
         self._closed = False
@@ -306,6 +313,12 @@ class CampaignMonitor:
         timeouts, resubmits) in the snapshot's health section."""
         self._resilience = counters
 
+    def attach_service(self, counters: dict) -> None:
+        """Expose the campaign daemon's live supervision counters (lease
+        reclaims, breaker transitions, fleet replacements) in the
+        snapshot's health section as ``health.service``."""
+        self._service = counters
+
     # -- snapshot ------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
@@ -327,6 +340,11 @@ class CampaignMonitor:
                 "silent_workers": silent,
                 "stalls": list(self.fold.stalls),
                 "resilience": dict(self._resilience or {}),
+                **(
+                    {"service": dict(self._service)}
+                    if self._service is not None
+                    else {}
+                ),
             },
             "stream": {
                 "spools": self.reader.spools_seen,

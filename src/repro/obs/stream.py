@@ -113,10 +113,15 @@ class HeartbeatWriter:
         self.records_written = 0
         self._fh = None
         self._last_beat_us = 0
+        self._seq = 0
 
     def _open(self) -> None:
         os.makedirs(self.spool_dir, exist_ok=True)
-        for seq in range(10_000):
+        # Slots only move forward within a writer's lifetime (never back
+        # to a pruned-and-freed number): a reader keys offsets by path,
+        # so reusing a deleted slot would leave its new records beyond a
+        # stale offset, unread forever.
+        for seq in range(self._seq, self._seq + 10_000):
             path = os.path.join(
                 self.spool_dir, f"hb-{self.pid}-{seq}.jsonl"
             )
@@ -126,6 +131,7 @@ class HeartbeatWriter:
                 )
             except FileExistsError:
                 continue  # a previous incarnation of this pid; next slot
+            self._seq = seq + 1
             self._fh = os.fdopen(fd, "w", encoding="utf-8")
             self._emit(
                 {
@@ -210,10 +216,63 @@ class HeartbeatWriter:
             }
         )
 
+    def rotate(self) -> None:
+        """Close the current spool slot; the next record claims a fresh
+        one.  Long-lived daemon workers rotate between campaigns so the
+        retention GC (:func:`prune_spool_dir`) can reclaim closed slots
+        without ever racing a live file handle."""
+        self.close()
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+
+def prune_spool_dir(
+    spool_dir: str,
+    keep_per_pid: int = 2,
+    live_pids: Optional[set] = None,
+) -> int:
+    """Retention GC over a heartbeat spool directory; returns files removed.
+
+    Spool slots accumulate forever on a long-lived daemon (every worker
+    replacement and every :meth:`HeartbeatWriter.rotate` claims a new
+    ``hb-<pid>-<n>.jsonl``).  This keeps the newest ``keep_per_pid``
+    slots per pid and deletes the rest; when ``live_pids`` is given,
+    *every* slot of a pid not in it is deleted (the process is gone, its
+    telemetry has been folded).  Writers never re-use a freed slot
+    number (see :meth:`HeartbeatWriter._open`), so deletion cannot
+    corrupt a reader's offset map -- pair with
+    :meth:`SpoolReader.forget_missing` to keep that map bounded too.
+    """
+    try:
+        names = os.listdir(spool_dir)
+    except OSError:
+        return 0
+    by_pid: Dict[int, List[tuple]] = {}
+    for name in names:
+        if not (name.startswith("hb-") and name.endswith(".jsonl")):
+            continue
+        parts = name[3:-6].split("-")
+        if len(parts) != 2 or not all(p.isdigit() for p in parts):
+            continue
+        pid, seq = int(parts[0]), int(parts[1])
+        by_pid.setdefault(pid, []).append((seq, name))
+    removed = 0
+    for pid, slots in by_pid.items():
+        slots.sort()
+        if live_pids is not None and pid not in live_pids:
+            doomed = slots
+        else:
+            doomed = slots[: max(0, len(slots) - max(0, keep_per_pid))]
+        for _seq, name in doomed:
+            try:
+                os.unlink(os.path.join(spool_dir, name))
+                removed += 1
+            except OSError:
+                pass
+    return removed
 
 
 # ----------------------------------------------------------------------
@@ -339,6 +398,15 @@ class SpoolReader:
     @property
     def spools_seen(self) -> int:
         return len(self._offsets)
+
+    def forget_missing(self) -> int:
+        """Drop offsets for spool files that no longer exist (pruned by
+        the retention GC); returns how many were forgotten.  Keeps a
+        daemon-lifetime reader's offset map bounded."""
+        gone = [p for p in self._offsets if not os.path.exists(p)]
+        for path in gone:
+            del self._offsets[path]
+        return len(gone)
 
     def poll(self) -> List[dict]:
         records: List[dict] = []

@@ -1,0 +1,55 @@
+"""Verification-as-a-service: the fault-tolerant campaign daemon.
+
+The batch CLI dies with its foreground process; this package is the
+ROADMAP's "verification-as-a-service" step -- a stdlib-only daemon
+(``repro serve``) that accepts Definition-2 verification campaigns over
+a thin HTTP/JSON protocol, shards their cells across a supervised
+worker fleet, and keeps producing bit-identical evidence while workers
+crash, stall, and lie.
+
+Layers (each its own module):
+
+* :mod:`repro.service.campaigns`  -- the campaign spec: a JSON document
+  naming a program corpus, a policy grid, a config, and seed ranges;
+  content-signed so journals and results are bound to their inputs;
+* :mod:`repro.service.fleet`      -- persistent worker processes that
+  execute engine task tuples against a name-resolved task context and
+  stream heartbeats into the daemon's spool;
+* :mod:`repro.service.supervisor` -- the robustness core: lease-based
+  dispatch over :class:`~repro.verify.leases.TaskBoard`, heartbeat-
+  expiry reclamation, kill-and-replace, and the per-cell circuit
+  breaker (healthy -> suspect -> quarantined -> recovered) that
+  degrades a misbehaving cell to in-daemon serial execution;
+* :mod:`repro.service.protocol`   -- a minimal asyncio HTTP/1.1 server
+  (no dependencies, no frameworks);
+* :mod:`repro.service.daemon`     -- the daemon: campaign queue with
+  backpressure (429 + Retry-After), sequential execution through
+  :class:`~repro.verify.engine.VerificationEngine` with the fleet as
+  its dispatcher, SIGTERM drain, journal-based restart resume, and
+  retention GC between campaigns;
+* :mod:`repro.service.client`     -- the stdlib client the ``submit`` /
+  ``campaigns`` CLI subcommands and the tests drive.
+
+The determinism story: the daemon never re-implements the sweep.  The
+engine runs in the daemon process with ``dispatcher=`` pointing at the
+fleet, so folds, journaling, store flushes, and monitor ticks are the
+engine's own -- a campaign's evidence table is bit-identical to
+``repro sweep``'s no matter how many workers were killed on the way.
+"""
+
+from repro.service.campaigns import CampaignError, CampaignSpec
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import CampaignDaemon
+from repro.service.fleet import Fleet
+from repro.service.supervisor import CircuitBreaker, FleetDispatcher
+
+__all__ = [
+    "CampaignDaemon",
+    "CampaignError",
+    "CampaignSpec",
+    "CircuitBreaker",
+    "Fleet",
+    "FleetDispatcher",
+    "ServiceClient",
+    "ServiceError",
+]

@@ -1,0 +1,254 @@
+"""Campaign specs: the JSON documents the daemon accepts and executes.
+
+A campaign is exactly a ``definition2_sweep`` call by name: a program
+corpus (litmus/workload names), a policy grid (policy registry names),
+a hardware config, and seed ranges.  Everything is name-based and
+JSON-round-trippable so specs can cross the HTTP protocol, be persisted
+in the daemon's state directory, and be resolved *independently* by the
+daemon (for the engine and its serial-degradation path) and by each
+fleet worker (which was spawned before the campaign existed and cannot
+inherit anything by fork).
+
+Content signature: :meth:`CampaignSpec.signature` hashes the canonical
+JSON form.  The daemon embeds it in campaign ids and the checkpoint
+journal is keyed by the engine's own sweep signature derived from the
+resolved inputs -- so a restarted daemon can only ever resume a journal
+that matches the spec it was written for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.machine.program import Program
+from repro.sim.system import SystemConfig
+
+
+class CampaignError(ValueError):
+    """The spec is malformed or references unknown names (client error)."""
+
+
+#: SystemConfig fields a spec's ``config`` object may set directly.
+_CONFIG_FIELDS = (
+    "topology",
+    "caches",
+    "coherence",
+    "seed",
+    "bus_latency",
+    "net_latency",
+    "net_jitter",
+    "fifo_per_pair",
+    "mem_latency",
+    "hit_latency",
+    "local_cycle",
+    "write_buffer",
+    "wb_drain_delay",
+    "cache_capacity",
+    "reserved_miss_limit",
+    "remote_sync_nack",
+    "nack_retry_delay",
+    "max_events",
+    "watchdog_cycles",
+)
+
+
+def config_from_dict(data: Optional[dict]) -> SystemConfig:
+    """Build a :class:`SystemConfig` from a spec's ``config`` object.
+
+    Plain fields map one-to-one; the fault plan is named (``faults`` +
+    optional ``fault_seed``) and resolved through the
+    :data:`~repro.sim.faults.FAULT_PLANS` registry -- the same path the
+    CLI's ``--faults`` flag takes, so a daemon campaign under
+    ``delay-storm`` is *the same* delay-storm.
+    """
+    data = dict(data or {})
+    plan_name = data.pop("faults", None)
+    fault_seed = data.pop("fault_seed", None)
+    unknown = set(data) - set(_CONFIG_FIELDS)
+    if unknown:
+        raise CampaignError(
+            f"unknown config fields: {', '.join(sorted(unknown))}"
+        )
+    fault_plan = None
+    if plan_name is not None:
+        from repro.sim.faults import FAULT_PLANS
+
+        if plan_name not in FAULT_PLANS:
+            raise CampaignError(
+                f"unknown fault plan {plan_name!r} "
+                f"(known: {', '.join(sorted(FAULT_PLANS))})"
+            )
+        fault_plan = FAULT_PLANS[plan_name]
+        if fault_seed is not None:
+            fault_plan = fault_plan.with_seed(int(fault_seed))
+    try:
+        return SystemConfig(fault_plan=fault_plan, **data)
+    except TypeError as exc:
+        raise CampaignError(f"bad config: {exc}")
+
+
+def resolve_program(name: str) -> Program:
+    """Name -> Program via the workload and litmus registries."""
+    from repro.cli import WORKLOAD_FACTORIES
+    from repro.litmus import by_name
+
+    if name in WORKLOAD_FACTORIES:
+        return WORKLOAD_FACTORIES[name]()
+    try:
+        return by_name(name).program
+    except KeyError:
+        raise CampaignError(f"unknown program {name!r}")
+
+
+def resolve_policies(names: List[str]) -> Dict[str, Callable[[], object]]:
+    from repro.hw import POLICY_FACTORIES
+
+    factories: Dict[str, Callable[[], object]] = {}
+    for name in names:
+        if name not in POLICY_FACTORIES:
+            raise CampaignError(
+                f"unknown policy {name!r} "
+                f"(known: {', '.join(sorted(POLICY_FACTORIES))})"
+            )
+        factories[name] = POLICY_FACTORIES[name]
+    return factories
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One verification campaign, exactly as submitted.
+
+    ``failpoints`` is chaos-test plumbing: each entry
+    ``{"task_kind", "mode", "token"}`` becomes an engine
+    :class:`~repro.verify.engine.Failpoint` inside every fleet worker
+    (token-claimed, so each fires exactly once across the fleet) --
+    how the kill-chaos tests inject deterministic worker deaths into a
+    live daemon without patching it.
+    """
+
+    programs: Tuple[str, ...]
+    policies: Tuple[str, ...]
+    seeds: int = 20
+    drf0_seeds: int = 30
+    exhaustive_drf0: bool = False
+    check_51: bool = False
+    config: dict = field(default_factory=dict)
+    failpoints: Tuple[dict, ...] = ()
+
+    # -- wire format ---------------------------------------------------
+
+    @staticmethod
+    def from_dict(data: dict) -> "CampaignSpec":
+        if not isinstance(data, dict):
+            raise CampaignError("spec must be a JSON object")
+        programs = data.get("programs")
+        policies = data.get("policies")
+        if not programs or not isinstance(programs, list):
+            raise CampaignError("spec needs a non-empty 'programs' list")
+        if not policies or not isinstance(policies, list):
+            raise CampaignError("spec needs a non-empty 'policies' list")
+        try:
+            seeds = int(data.get("seeds", 20))
+            drf0_seeds = int(data.get("drf0_seeds", 30))
+        except (TypeError, ValueError):
+            raise CampaignError("'seeds' / 'drf0_seeds' must be integers")
+        if seeds <= 0:
+            raise CampaignError("'seeds' must be positive")
+        failpoints = []
+        for entry in data.get("failpoints", ()):
+            if not isinstance(entry, dict) or not entry.get("token"):
+                raise CampaignError(
+                    "failpoints entries need task_kind/mode/token"
+                )
+            failpoints.append(
+                {
+                    "task_kind": str(entry.get("task_kind", "*")),
+                    "mode": str(entry.get("mode", "crash")),
+                    "token": str(entry["token"]),
+                }
+            )
+        spec = CampaignSpec(
+            programs=tuple(str(n) for n in programs),
+            policies=tuple(str(n) for n in policies),
+            seeds=seeds,
+            drf0_seeds=drf0_seeds,
+            exhaustive_drf0=bool(data.get("exhaustive_drf0", False)),
+            check_51=bool(data.get("check_51", False)),
+            config=dict(data.get("config") or {}),
+            failpoints=tuple(failpoints),
+        )
+        spec.resolve_config()  # validate the config names eagerly
+        return spec
+
+    def to_dict(self) -> dict:
+        return {
+            "programs": list(self.programs),
+            "policies": list(self.policies),
+            "seeds": self.seeds,
+            "drf0_seeds": self.drf0_seeds,
+            "exhaustive_drf0": self.exhaustive_drf0,
+            "check_51": self.check_51,
+            "config": dict(self.config),
+            "failpoints": [dict(f) for f in self.failpoints],
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def signature(self) -> str:
+        """Content hash of the spec (failpoints included: a chaos run is
+        a different campaign than a clean one)."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve_config(self) -> SystemConfig:
+        return config_from_dict(self.config)
+
+    def resolve(self):
+        """(programs, policy factories, config, failpoints) -- the exact
+        arguments of the ``definition2_sweep`` this spec describes."""
+        from repro.verify.engine import Failpoint
+
+        programs = [resolve_program(name) for name in self.programs]
+        factories = resolve_policies(list(self.policies))
+        config = self.resolve_config()
+        failpoints = tuple(
+            Failpoint(f["task_kind"], f["mode"], f["token"])
+            for f in self.failpoints
+        )
+        return programs, factories, config, failpoints
+
+    def worker_context_data(self) -> dict:
+        """The picklable campaign description shipped to fleet workers
+        (they re-resolve every name on their side)."""
+        return self.to_dict()
+
+
+def build_task_context(data: dict):
+    """Worker-side: spec dict -> the engine ``_TaskContext``.
+
+    Cells are ordered ``programs x policies`` -- the same nesting
+    :meth:`~repro.verify.engine.VerificationEngine.definition2_sweep`
+    uses -- so the cell indices inside engine task tuples mean the same
+    thing in every process.
+    """
+    from repro.verify import engine as engine_mod
+
+    spec = CampaignSpec.from_dict(data)
+    programs, factories, config, failpoints = spec.resolve()
+    cells = tuple(
+        engine_mod._SweepCell(program, factory, config, spec.check_51)
+        for program in programs
+        for factory in factories.values()
+    )
+    return engine_mod._TaskContext(
+        cells=cells,
+        programs=tuple(programs),
+        exhaustive_drf0=spec.exhaustive_drf0,
+        drf0_seeds=tuple(range(spec.drf0_seeds)),
+        failpoints=failpoints,
+    )

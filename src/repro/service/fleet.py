@@ -1,0 +1,353 @@
+"""The daemon's persistent worker fleet.
+
+The batch engine forks a fresh pool per call and lets workers inherit
+the (unpicklable) task context by address-space copy.  A daemon cannot:
+its workers outlive any single campaign, so everything they need must
+cross a pipe.  The bridge is the name-based campaign spec
+(:mod:`repro.service.campaigns`): workers receive the spec dict, resolve
+it locally into the engine's ``_TaskContext``, and then execute the
+engine's **own** ``_execute_task`` on the engine's own task tuples --
+the values that come back are byte-for-byte the values a pool worker
+would have produced, which is what keeps daemon campaigns bit-identical
+to ``repro sweep``.
+
+Transport is one duplex :func:`multiprocessing.Pipe` per worker,
+request/response framed as small tuples (see :func:`_worker_main`).
+Death is observable without polling: every worker's
+``Process.sentinel`` joins the ``connection.wait`` the supervisor
+blocks on, so a SIGKILLed worker wakes the dispatch loop immediately.
+
+Workers fire engine :class:`~repro.verify.engine.Failpoint` tokens
+(they are children of the daemon, so ``multiprocessing.parent_process``
+is set), which is how the chaos tests kill daemon workers mid-campaign
+deterministically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from typing import Dict, List, Optional, Set
+
+from repro.obs import stream as obs_stream
+
+#: Heartbeat role for fleet workers (``fleet-<pid>`` worker ids in the
+#: status snapshot's worker table).
+FLEET_ROLE = "fleet"
+
+#: Exit code a worker returns on a clean ``exit`` request.
+_CLEAN_EXIT = 0
+
+
+def _worker_main(
+    conn,
+    inherited_fds: List[int],
+    spool_dir: Optional[str],
+    hb_interval: float,
+) -> None:
+    """Fleet worker loop: resolve campaign contexts, execute engine tasks.
+
+    Protocol (one reply per request, in order):
+
+    * ``("ctx", spec_dict)``    -> ``("ctx-ok",)`` | ``("ctx-err", msg)``
+    * ``("task", tid, task, tag)`` -> ``("ok", tid, value)`` |
+      ``("err", tid, msg)``
+    * ``("rotate",)``           -> ``("rotate-ok",)``  (new spool slot)
+    * ``("ping",)``             -> ``("pong", pid)``
+    * ``("exit",)``             -> no reply; the worker returns.
+
+    A ``crash``-mode failpoint never replies (``os._exit`` inside the
+    task); the parent sees the sentinel fire and the pipe go dead.
+
+    ``inherited_fds`` are the daemon-side pipe ends this fork inherited
+    (every sibling's, plus its own).  They must be closed here: a worker
+    holding a copy of a sibling's daemon-side end keeps that sibling's
+    ``recv`` from ever seeing EOF, so a SIGKILLed daemon would leave the
+    whole fleet orphaned forever instead of self-terminating.
+    """
+    for fd in inherited_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # the daemon owns Ctrl-C
+    if spool_dir is not None:
+        # Workers are spawned before any campaign monitor exists, so they
+        # publish the stream themselves; the per-campaign monitors tail
+        # this same long-lived directory.
+        obs_stream.publish(spool_dir, hb_interval)
+        writer = obs_stream.worker_writer(role=FLEET_ROLE)
+        if writer is not None:
+            writer.beat(task=None, force=True)
+
+    from repro.service.campaigns import build_task_context
+    from repro.verify import engine as engine_mod
+
+    def reply(message) -> bool:
+        """Send a reply; False means the daemon is gone (orphan exit)."""
+        try:
+            conn.send(message)
+            return True
+        except (OSError, ValueError):
+            return False
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind = message[0]
+        if kind == "exit":
+            writer = obs_stream.worker_writer(role=FLEET_ROLE)
+            if writer is not None:
+                writer.close()
+            return
+        if kind == "ping":
+            sent = reply(("pong", os.getpid()))
+        elif kind == "rotate":
+            writer = obs_stream.worker_writer(role=FLEET_ROLE)
+            if writer is not None:
+                writer.rotate()
+            sent = reply(("rotate-ok",))
+        elif kind == "ctx":
+            try:
+                engine_mod._TASK_CONTEXT = build_task_context(message[1])
+            except Exception as exc:
+                sent = reply(("ctx-err", f"{type(exc).__name__}: {exc}"))
+            else:
+                sent = reply(("ctx-ok",))
+        elif kind == "task":
+            _kind, task_id, task, tag = message
+            try:
+                value = engine_mod._execute_task(task, tag)
+            except Exception as exc:
+                sent = reply(
+                    ("err", task_id, f"{type(exc).__name__}: {exc}")
+                )
+            else:
+                sent = reply(("ok", task_id, value))
+        else:
+            sent = reply(("err", None, f"unknown request {kind!r}"))
+        if not sent:
+            return
+
+
+class WorkerHandle:
+    """One fleet worker: its process, its pipe, its current assignment."""
+
+    __slots__ = ("process", "conn", "assignment")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        #: ``(task_index, lease_gen, submitted_monotonic)`` while a task
+        #: is in flight on this worker, else ``None`` (supervisor-owned).
+        self.assignment = None
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    @property
+    def sentinel(self) -> int:
+        return self.process.sentinel
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class Fleet:
+    """Spawns, contextualizes, replaces, and retires fleet workers.
+
+    The fleet is process supervision only -- lease bookkeeping and
+    retry policy live in :class:`repro.service.supervisor.FleetSession`.
+    ``counters`` receives supervision events (``workers_spawned``,
+    ``workers_replaced``, ``workers_killed``) so they surface in the
+    ``engine.service.*`` metrics and the status snapshot's
+    ``health.service`` block.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        spool_dir: Optional[str] = None,
+        hb_interval: float = 0.05,
+        counters: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.size = max(1, int(size))
+        self.spool_dir = spool_dir
+        self.hb_interval = hb_interval
+        self.counters: Dict[str, int] = (
+            counters if counters is not None else {}
+        )
+        self.handles: List[WorkerHandle] = []
+        self._ctx_data: Optional[dict] = None
+        self._ctx: Optional[multiprocessing.context.BaseContext] = None
+
+    def _bump(self, key: str, n: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    @property
+    def available(self) -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def start(self) -> None:
+        """Spawn the initial fleet (call before heavy daemon threading)."""
+        if not self.available:
+            return
+        self._ctx = multiprocessing.get_context("fork")
+        for _ in range(self.size):
+            self._spawn()
+
+    def _spawn(self) -> Optional[WorkerHandle]:
+        if self._ctx is None:
+            return None
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        # The fork inherits every daemon-side pipe end currently open --
+        # the siblings' and its own; the child closes them first thing,
+        # so a dead daemon EOFs the whole fleet (see _worker_main).
+        inherited = [parent_conn.fileno()]
+        for sibling in self.handles:
+            try:
+                inherited.append(sibling.conn.fileno())
+            except OSError:
+                pass
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, inherited, self.spool_dir, self.hb_interval),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the parent keeps only its own end
+        handle = WorkerHandle(process, parent_conn)
+        self.handles.append(handle)
+        self._bump("workers_spawned")
+        if self._ctx_data is not None and not self._send_ctx(handle):
+            return None
+        return handle
+
+    def _send_ctx(self, handle: WorkerHandle, timeout: float = 30.0) -> bool:
+        try:
+            handle.conn.send(("ctx", self._ctx_data))
+            if not handle.conn.poll(timeout):
+                raise OSError("context ack timeout")
+            reply = handle.conn.recv()
+            if reply[0] != "ctx-ok":
+                raise OSError(reply[1] if len(reply) > 1 else "ctx rejected")
+        except (OSError, EOFError, ValueError):
+            self._retire(handle)
+            return False
+        return True
+
+    def set_context(self, ctx_data: Optional[dict]) -> int:
+        """Ship a campaign spec to every worker; returns how many acked.
+
+        A worker that cannot take the context (dead pipe, resolution
+        error) is retired -- :meth:`ensure` respawns it with the stored
+        context, so a transiently broken fleet self-heals.
+        """
+        self._ctx_data = ctx_data
+        if ctx_data is None:
+            return len(self.handles)
+        acked = 0
+        for handle in list(self.handles):
+            if self._send_ctx(handle):
+                acked += 1
+        return acked
+
+    def rotate_spools(self) -> None:
+        """Ask every worker to close its spool slot (between campaigns,
+        so the retention GC can prune closed files, never live ones)."""
+        for handle in list(self.handles):
+            try:
+                handle.conn.send(("rotate",))
+                if handle.conn.poll(5.0):
+                    handle.conn.recv()
+            except (OSError, EOFError):
+                self._retire(handle)
+
+    def _retire(self, handle: WorkerHandle) -> None:
+        if handle in self.handles:
+            self.handles.remove(handle)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=5.0)
+
+    def kill(self, pid: int, sig: int = signal.SIGKILL) -> bool:
+        """Kill one worker by pid (wedged-lease reclamation and chaos).
+
+        The handle stays registered until the supervisor reaps the death
+        -- killing must not silently drop an in-flight assignment.
+        """
+        for handle in self.handles:
+            if handle.pid == pid:
+                try:
+                    os.kill(pid, sig)
+                except OSError:
+                    return False
+                self._bump("workers_killed")
+                return True
+        return False
+
+    def reap_dead(self) -> List[WorkerHandle]:
+        """Remove dead workers from the roster; returns them (their
+        assignments are the supervisor's to disposition)."""
+        dead = [handle for handle in self.handles if not handle.alive()]
+        for handle in dead:
+            self.handles.remove(handle)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.process.join(timeout=5.0)
+        return dead
+
+    def ensure(self) -> int:
+        """Respawn workers until the fleet is back at full strength
+        (each new worker receives the stored campaign context).
+        Returns how many replacements were spawned."""
+        spawned = 0
+        while len(self.handles) < self.size and self._ctx is not None:
+            if self._spawn() is None:
+                break
+            spawned += 1
+        if spawned:
+            self._bump("workers_replaced", spawned)
+        return spawned
+
+    def live_pids(self) -> Set[int]:
+        return {handle.pid for handle in self.handles if handle.alive()}
+
+    def idle_handles(self) -> List[WorkerHandle]:
+        return [
+            handle
+            for handle in self.handles
+            if handle.assignment is None and handle.alive()
+        ]
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Retire the whole fleet: polite ``exit``, then terminate."""
+        for handle in self.handles:
+            try:
+                handle.conn.send(("exit",))
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + timeout
+        for handle in self.handles:
+            handle.process.join(
+                timeout=max(0.1, deadline - time.monotonic())
+            )
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self.handles.clear()

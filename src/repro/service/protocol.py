@@ -1,0 +1,177 @@
+"""A minimal asyncio HTTP/1.1 server (stdlib only, no frameworks).
+
+Just enough HTTP for the campaign protocol: request line + headers +
+``Content-Length`` body in, status + headers + body out, one request
+per connection (``Connection: close``).  The daemon registers a single
+``handler(request) -> Response`` callable; malformed requests get 400,
+handler exceptions get 500 -- the daemon must never die because a
+client sent garbage.
+
+JSON helpers (:func:`json_response`, :meth:`Request.json`) cover every
+endpoint; the one non-JSON surface is the events stream, which returns
+pre-serialized JSONL bytes through a plain :class:`Response`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+from urllib.parse import parse_qs, urlsplit
+
+#: Request bodies larger than this are rejected (backpressure guard:
+#: a campaign spec is a few KB; nobody needs a 100 MB one).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Total header section cap, same spirit.
+MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self):
+        if not self.body:
+            return None
+        return json.loads(self.body.decode("utf-8"))
+
+
+@dataclass
+class Response:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+def json_response(
+    status: int, payload, headers: Optional[Dict[str, str]] = None
+) -> Response:
+    return Response(
+        status=status,
+        body=(json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"),
+        headers=dict(headers or {}),
+    )
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request; None on a clean EOF, ValueError on garbage."""
+    try:
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # connection closed without a request
+        raise ValueError("truncated request")
+    except asyncio.LimitOverrunError:
+        raise ValueError("header section too large")
+    if len(header_blob) > MAX_HEADER_BYTES:
+        raise ValueError("header section too large")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ValueError(f"bad request line: {lines[0]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in parse_qs(split.query).items()
+    }
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ValueError("unacceptable content-length")
+    body = await reader.readexactly(length) if length else b""
+    return Request(
+        method=method.upper(),
+        path=split.path or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def _render(response: Response) -> bytes:
+    reason = _REASONS.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {reason}"]
+    headers = {
+        "content-type": response.content_type,
+        "content-length": str(len(response.body)),
+        "connection": "close",
+    }
+    headers.update(
+        {name.lower(): value for name, value in response.headers.items()}
+    )
+    for name, value in headers.items():
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + response.body
+
+
+async def serve(
+    host: str,
+    port: int,
+    handler: Callable[[Request], Response],
+) -> asyncio.AbstractServer:
+    """Start the server; ``handler`` may be sync or async.
+
+    Returns the ``asyncio.AbstractServer`` (the bound port is
+    ``server.sockets[0].getsockname()[1]`` -- port 0 works).
+    """
+
+    async def on_connection(reader, writer):
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    _read_request(reader), timeout=30.0
+                )
+            except (ValueError, asyncio.TimeoutError, OSError) as exc:
+                writer.write(
+                    _render(json_response(400, {"error": str(exc)}))
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return
+            try:
+                result = handler(request)
+                if asyncio.iscoroutine(result):
+                    result = await result
+            except Exception as exc:
+                result = json_response(
+                    500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+            writer.write(_render(result))
+            await writer.drain()
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    return await asyncio.start_server(
+        on_connection, host, port, limit=MAX_HEADER_BYTES + MAX_BODY_BYTES
+    )

@@ -1,0 +1,428 @@
+"""Fleet supervision: leases, reclamation, backoff, circuit breaking.
+
+This is the robustness core of the campaign daemon.  The engine hands
+its task list to :class:`FleetSession` (through the ``dispatcher`` seam
+on :class:`~repro.verify.engine.VerificationEngine`), and the session
+drives the shared :class:`~repro.verify.leases.TaskBoard` state machine
+over the persistent worker fleet instead of a throwaway pool:
+
+* every dispatch is a **lease** (task, generation); completions are
+  first-wins and failure charges are deduplicated per lease, exactly as
+  in the engine's own pool loop;
+* a lease is **reclaimed** when its task times out *or* when the
+  worker's heartbeat stream goes silent past ``heartbeat_timeout`` --
+  the beat records workers already emit are the liveness evidence, so a
+  wedged worker is caught by the telemetry plane before the (longer)
+  task timeout would fire; the wedged worker is killed and replaced;
+* failures feed a per-cell :class:`CircuitBreaker`
+  (healthy -> suspect -> quarantined -> recovered): a quarantined
+  cell's tasks run serially in the daemon process, with every K-th task
+  probing the fleet so a recovered cell is promoted back;
+* a task that exhausts its retry budget degrades to in-daemon serial
+  execution -- the campaign always terminates with the exact serial
+  output, because serial execution in the daemon runs the engine's own
+  ``_execute_task`` against the context the engine published.
+
+All supervision events land in one counters dict, surfaced as
+``engine.service.*`` metrics and the status snapshot's
+``health.service`` block.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.obs import stream as obs_stream
+from repro.obs.tracer import now_us
+from repro.verify.leases import DEGRADE, BackoffPolicy, TaskBoard
+
+
+class DrainRequested(RuntimeError):
+    """Raised out of a dispatch loop when the daemon is draining; every
+    completed unit is already journaled, so the campaign resumes on
+    restart from exactly where the drain cut it."""
+
+
+# -- circuit breaker ----------------------------------------------------
+
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+QUARANTINED = "quarantined"
+
+
+class CircuitBreaker:
+    """Per-key failure circuit: healthy -> suspect -> quarantined.
+
+    Keys are cells (``cell:<i>``) or auxiliary task families
+    (``drf0:<i>``).  The first failure makes a key *suspect* (visible in
+    metrics, no behavior change); ``threshold`` deduplicated failures
+    quarantine it, after which its tasks run serially in the daemon --
+    except every ``probe_interval``-th task, which is sent to the fleet
+    as a probe.  A probe success closes the circuit (*recovered*).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        probe_interval: int = 4,
+        counters: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.threshold = max(1, int(threshold))
+        self.probe_interval = max(1, int(probe_interval))
+        self.counters: Dict[str, int] = (
+            counters if counters is not None else {}
+        )
+        self._failures: Dict[str, int] = {}
+        self._state: Dict[str, str] = {}
+        self._quarantine_calls: Dict[str, int] = {}
+
+    def _bump(self, key: str, n: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    def state(self, key: str) -> str:
+        return self._state.get(key, HEALTHY)
+
+    def record_failure(self, key: str) -> None:
+        failures = self._failures.get(key, 0) + 1
+        self._failures[key] = failures
+        state = self.state(key)
+        if state == HEALTHY:
+            self._state[key] = SUSPECT
+            self._bump("breaker_suspect")
+        if failures >= self.threshold and state != QUARANTINED:
+            self._state[key] = QUARANTINED
+            self._quarantine_calls[key] = 0
+            self._bump("breaker_opened")
+
+    def record_success(self, key: str) -> None:
+        state = self.state(key)
+        if state == QUARANTINED:
+            # Only a fleet probe can reach here; the circuit closes.
+            self._state[key] = HEALTHY
+            self._failures[key] = 0
+            self._bump("breaker_recovered")
+        elif state == SUSPECT:
+            self._state[key] = HEALTHY
+            self._failures[key] = 0
+
+    def route(self, key: str) -> str:
+        """``"fleet"`` or ``"serial"`` for the next task under ``key``."""
+        if self.state(key) != QUARANTINED:
+            return "fleet"
+        calls = self._quarantine_calls.get(key, 0)
+        self._quarantine_calls[key] = calls + 1
+        if calls % self.probe_interval == self.probe_interval - 1:
+            self._bump("breaker_probes")
+            return "fleet"
+        self._bump("breaker_serial_tasks")
+        return "serial"
+
+
+def _breaker_key(task: tuple) -> str:
+    kind = task[0]
+    if kind in ("run", "judge"):
+        return f"cell:{task[1]}"
+    if kind == "drf0":
+        return f"drf0:{task[1]}"
+    return kind
+
+
+# -- the dispatcher seam ------------------------------------------------
+
+
+class FleetDispatcher:
+    """The object a daemon passes as ``VerificationEngine(dispatcher=)``.
+
+    Campaign-scoped state (the spec shipped to workers) is set with
+    :meth:`prepare` before the engine call; the engine then opens
+    sessions through :meth:`session` exactly where it would have forked
+    a pool.
+    """
+
+    def __init__(
+        self,
+        fleet,
+        counters: Optional[Dict[str, int]] = None,
+        task_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+        heartbeat_timeout: Optional[float] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        stop_event=None,
+    ) -> None:
+        self.fleet = fleet
+        self.counters: Dict[str, int] = (
+            counters if counters is not None else {}
+        )
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.heartbeat_timeout = heartbeat_timeout
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(counters=self.counters)
+        )
+        self.stop_event = stop_event
+
+    def prepare(self, ctx_data: Optional[dict]) -> int:
+        """Broadcast a campaign spec to the fleet; returns ack count."""
+        self.fleet.ensure()
+        return self.fleet.set_context(ctx_data)
+
+    def session(self, context, engine) -> "FleetSession":
+        return FleetSession(self, engine)
+
+
+class FleetSession:
+    """One engine call's dispatch surface over the worker fleet.
+
+    Mirrors the engine's ``_Session`` contract (``map``,
+    ``task_seconds``, ``abandoned_handles``, ``close``); the engine's
+    fold/journal/store path is unchanged above it.
+    """
+
+    def __init__(self, dispatcher: FleetDispatcher, engine) -> None:
+        self.dispatcher = dispatcher
+        self.engine = engine
+        self.task_seconds: List[float] = []
+        self.abandoned_handles = 0
+        #: Pids this session killed on purpose (reclaimed leases, chaos
+        #: cleanup): their deaths are already charged and must not count
+        #: as fresh ``worker_crashes``.
+        self._expected_deaths: Set[int] = set()
+
+    # -- helpers -------------------------------------------------------
+
+    def _bump(self, key: str, n: int = 1) -> None:
+        counters = self.dispatcher.counters
+        counters[key] = counters.get(key, 0) + n
+
+    def _heartbeat_expired(self, pid: int, submitted: float, now: float) -> bool:
+        """Is this worker's beat stream silent past the lease's grace?"""
+        hb_timeout = self.dispatcher.heartbeat_timeout
+        if hb_timeout is None:
+            return False
+        monitor = getattr(self.engine, "monitor", None)
+        if monitor is None:
+            return False
+        if now - submitted <= hb_timeout:
+            return False  # the lease itself is younger than the window
+        view = monitor.fold.workers.get(f"fleet-{pid}")
+        if view is None or not view.last_ts:
+            return True  # held a lease past the window, never beat at all
+        return now_us() - view.last_ts > hb_timeout * 1e6
+
+    # -- the dispatch loop ---------------------------------------------
+
+    def map(self, tasks: Sequence[tuple], on_result=None) -> list:
+        if not tasks:
+            return []
+        from repro.verify import engine as engine_mod
+
+        dispatcher = self.dispatcher
+        fleet = dispatcher.fleet
+        breaker = dispatcher.breaker
+        engine = self.engine
+        timeout = dispatcher.task_timeout
+        if timeout is None and engine is not None:
+            timeout = engine.task_timeout
+
+        board = TaskBoard(
+            len(tasks),
+            max_retries=dispatcher.max_retries,
+            backoff=BackoffPolicy(base=dispatcher.backoff),
+            counters=dispatcher.counters,
+        )
+        results: List[object] = [engine_mod._UNSET] * len(tasks)
+        self.task_seconds = [0.0] * len(tasks)
+        batch = next(engine_mod._TELEMETRY_BATCH)
+
+        if engine is not None and engine.metrics is not None:
+            for task in tasks:
+                engine.metrics.counter(f"engine.tasks.{task[0]}").inc()
+
+        def finish(index: int, value: object, seconds: float = 0.0) -> None:
+            results[index] = value
+            self.task_seconds[index] = seconds
+            if on_result is not None:
+                on_result(index, tasks[index], value)
+            if engine is not None:
+                engine._task_landed(tasks[index], seconds)
+
+        def run_serial(index: int, attempt: int) -> None:
+            serial_start = time.perf_counter()
+            value = engine_mod._execute_task(
+                tasks[index], (batch, index, attempt)
+            )
+            board.complete(index, attempt)
+            finish(index, value, time.perf_counter() - serial_start)
+
+        def dispose(index: int, gen: int, kind: str) -> None:
+            breaker.record_failure(_breaker_key(tasks[index]))
+            if board.fail(index, gen, kind, time.monotonic()) == DEGRADE:
+                run_serial(index, board.attempts.get(index, 0))
+
+        while not board.finished:
+            if (
+                dispatcher.stop_event is not None
+                and dispatcher.stop_event.is_set()
+            ):
+                raise DrainRequested("daemon draining")
+            now = time.monotonic()
+
+            # 1. Reap deaths (exact attribution: we know each corpse's
+            #    lease) and restore fleet strength.
+            dead = fleet.reap_dead()
+            for handle in dead:
+                expected = handle.pid in self._expected_deaths
+                self._expected_deaths.discard(handle.pid)
+                if not expected:
+                    self._bump("worker_crashes")
+                if handle.assignment is not None:
+                    index, gen, _submitted = handle.assignment
+                    handle.assignment = None
+                    if not expected:
+                        self.abandoned_handles += 1
+                        dispose(index, gen, "")
+            if dead:
+                fleet.ensure()
+
+            # 2. Grant leases to idle workers (or serially, if the
+            #    breaker has quarantined the task's cell).
+            idle = fleet.idle_handles()
+            while True:
+                lease = board.grant(now)
+                if lease is None:
+                    break
+                if breaker.route(_breaker_key(tasks[lease.task])) == "serial":
+                    run_serial(lease.task, lease.gen - 1)
+                    continue
+                if not idle:
+                    # Nothing to run it on right now; no budget charged.
+                    board.requeue(lease.task, now)
+                    break
+                handle = idle.pop()
+                tag = (batch, lease.task, lease.gen - 1)
+                try:
+                    handle.conn.send(
+                        ("task", (lease.task, lease.gen),
+                         tasks[lease.task], tag)
+                    )
+                except (OSError, ValueError):
+                    fleet._retire(handle)
+                    board.requeue(lease.task, now)
+                    continue
+                handle.assignment = (lease.task, lease.gen, now)
+
+            busy = [h for h in fleet.handles if h.assignment is not None]
+            if not busy:
+                if board.finished:
+                    break
+                if not fleet.handles:
+                    # The fleet is gone and cannot be rebuilt: finish
+                    # everything in-daemon (graceful degradation floor).
+                    for index in range(len(tasks)):
+                        if not board.is_done(index):
+                            self._bump("degraded_to_serial")
+                            run_serial(index, board.attempts.get(index, 0))
+                    continue
+                not_before = board.next_not_before()
+                if not_before is None:
+                    for index in range(len(tasks)):
+                        if not board.is_done(index):
+                            self._bump("degraded_to_serial")
+                            run_serial(index, board.attempts.get(index, 0))
+                    continue
+                time.sleep(min(max(not_before - now, 0), 0.05))
+                continue
+
+            # 3. Sleep until a reply lands or a worker dies (sentinels
+            #    wake this immediately on SIGKILL -- no polling).
+            mp_connection.wait(
+                [h.conn for h in busy] + [h.sentinel for h in busy],
+                timeout=0.05,
+            )
+            obs_stream.parent_poll()
+
+            # 4. Drain replies.
+            for handle in busy:
+                if handle.assignment is None or not handle.alive():
+                    continue
+                try:
+                    while handle.conn.poll():
+                        reply = handle.conn.recv()
+                        self._absorb_reply(
+                            handle, reply, board, breaker, tasks,
+                            finish, dispose,
+                        )
+                        if handle.assignment is None:
+                            break
+                except (EOFError, OSError):
+                    continue  # death; reaped at the top of the next turn
+
+            # 5. Reclaim expired leases: task timeout or heartbeat
+            #    silence.  The holder is wedged -- kill and replace it.
+            scan_now = time.monotonic()
+            for handle in busy:
+                if handle.assignment is None or not handle.alive():
+                    continue
+                index, gen, submitted = handle.assignment
+                timed_out = (
+                    timeout is not None and scan_now - submitted > timeout
+                )
+                hb_dead = self._heartbeat_expired(
+                    handle.pid, submitted, scan_now
+                )
+                if not (timed_out or hb_dead):
+                    continue
+                handle.assignment = None
+                self.abandoned_handles += 1
+                self._bump("leases_reclaimed")
+                self._expected_deaths.add(handle.pid)
+                fleet.kill(handle.pid)
+                dispose(
+                    index, gen,
+                    "task_timeouts" if timed_out else "heartbeat_expiries",
+                )
+        return results
+
+    def _absorb_reply(
+        self, handle, reply, board, breaker, tasks, finish, dispose
+    ) -> None:
+        kind = reply[0]
+        if kind not in ("ok", "err") or handle.assignment is None:
+            return  # stray ack (rotate/ping) or reply for a reclaimed lease
+        task_id = reply[1]
+        index, gen, submitted = handle.assignment
+        if task_id != (index, gen):
+            return  # stale reply from a superseded lease; ignore
+        handle.assignment = None
+        if kind == "ok":
+            breaker.record_success(_breaker_key(tasks[index]))
+            if board.complete(index, gen):
+                finish(index, reply[2], time.monotonic() - submitted)
+        else:
+            dispose(index, gen, "task_errors")
+
+    def close(self) -> None:
+        """End-of-map hygiene: no worker may carry a stale assignment or
+        a buffered stale reply into the next engine call."""
+        fleet = self.dispatcher.fleet
+        for handle in list(fleet.handles):
+            if handle.assignment is not None:
+                # Still chewing on an abandoned lease (drain/interrupt):
+                # the worker cannot be reused mid-task.
+                self._expected_deaths.add(handle.pid)
+                fleet.kill(handle.pid)
+                handle.assignment = None
+                continue
+            try:
+                while handle.conn.poll():
+                    handle.conn.recv()
+            except (EOFError, OSError):
+                pass
+        fleet.reap_dead()
+        fleet.ensure()

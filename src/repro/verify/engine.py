@@ -41,7 +41,11 @@ value):
   a worker dies (segfault, OOM kill), every in-flight task is resubmitted
   (duplicates are harmless, first completion wins);
 * **bounded retry with backoff** -- each task is retried at most
-  ``max_task_retries`` times with linear backoff;
+  ``max_task_retries`` times with exponential backoff and deterministic
+  jitter; failure charges are deduplicated by (task, lease generation)
+  through :class:`~repro.verify.leases.TaskBoard`, so one incident seen
+  twice (a timeout *and* the wedged worker's later death) burns one unit
+  of retry budget, not two;
 * **graceful serial degradation** -- a task that exhausts its retries is
   executed in the parent process, which always terminates the sweep with
   the correct output (just without parallelism for that task);
@@ -82,7 +86,6 @@ import multiprocessing
 import os
 import signal
 import time
-from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
@@ -120,6 +123,7 @@ from repro.verify.journal import (
     encode_result,
     sweep_signature,
 )
+from repro.verify.leases import DEGRADE, BackoffPolicy, TaskBoard
 from repro.verify.store import VerdictStore, cell_key, run_key
 from repro.verify.sweeps import (
     Definition2Evidence,
@@ -554,14 +558,18 @@ class _Session:
         """Pooled evaluation that survives slow, crashed, and lying workers.
 
         At most ``jobs`` tasks are in flight at a time (so a per-task
-        timeout measures actual execution, not queueing).  A task is
-        resubmitted when it times out, when its worker raises, or when any
-        pool worker dies while it is in flight (we cannot know which task
-        the dead worker held, so all in-flight tasks are resubmitted --
-        tasks are pure, duplicates are free apart from the wasted work and
-        the first completion wins).  A task that exhausts
-        ``max_task_retries`` resubmissions is executed in the parent: the
-        sweep always terminates with the exact serial output.
+        timeout measures actual execution, not queueing).  Lease
+        bookkeeping -- generations, retry budgets, exponential backoff,
+        and the exactly-once failure dedupe -- lives in
+        :class:`~repro.verify.leases.TaskBoard`; this loop only moves
+        handles.  A task is resubmitted when it times out, when its
+        worker raises, or when a pool worker dies *unattributed* while
+        it is in flight (the board's crash credits attribute a worker
+        death to an already-handled timeout, so one wedged worker no
+        longer charges a task twice -- once at timeout, once when the
+        corpse is noticed).  A task that exhausts ``max_task_retries``
+        resubmissions is executed in the parent: the sweep always
+        terminates with the exact serial output.
         """
         engine = self._engine
         timeout = engine.task_timeout if engine is not None else None
@@ -570,13 +578,15 @@ class _Session:
         jobs = engine.jobs if engine is not None else (os.cpu_count() or 1)
         counters = engine.resilience if engine is not None else {}
 
-        def bump(key: str, n: int = 1) -> None:
-            counters[key] = counters.get(key, 0) + n
-
+        board = TaskBoard(
+            len(tasks),
+            max_retries=max_retries,
+            backoff=BackoffPolicy(base=backoff),
+            counters=counters,
+        )
         results: List[object] = [_UNSET] * len(tasks)
-        ready = deque(range(len(tasks)))
-        attempts: Dict[int, int] = {}
-        inflight: Dict[int, Tuple[object, float]] = {}
+        #: index -> (async handle, submit monotonic, lease generation)
+        inflight: Dict[int, Tuple[object, float, int]] = {}
         batch = next(_TELEMETRY_BATCH)
 
         def finish(
@@ -589,42 +599,51 @@ class _Session:
             if engine is not None:
                 engine._task_landed(tasks[index], seconds)
 
-        def resubmit_or_degrade(index: int) -> None:
-            attempts[index] = attempts.get(index, 0) + 1
-            if attempts[index] > max_retries:
-                bump("degraded_to_serial")
-                serial_start = time.perf_counter()
-                value = _execute_task(
-                    tasks[index], (batch, index, attempts[index])
-                )
-                finish(index, value, time.perf_counter() - serial_start)
-                return
-            bump("tasks_retried")
-            if backoff:
-                time.sleep(backoff * attempts[index])
-            ready.append(index)
+        def run_serial(index: int, attempt: int) -> None:
+            serial_start = time.perf_counter()
+            value = _execute_task(tasks[index], (batch, index, attempt))
+            board.complete(index, attempt)
+            finish(index, value, time.perf_counter() - serial_start)
 
-        while ready or inflight:
-            while ready and len(inflight) < jobs:
-                index = ready.popleft()
-                if results[index] is not _UNSET:
-                    continue  # a duplicate submission already completed it
+        def dispose(index: int, gen: int, kind: str) -> None:
+            if board.fail(index, gen, kind, time.monotonic()) == DEGRADE:
+                run_serial(index, board.attempts.get(index, 0))
+
+        while not board.finished:
+            now = time.monotonic()
+            while len(inflight) < jobs:
+                lease = board.grant(now)
+                if lease is None:
+                    break
+                # tag attempt numbering matches the serial path: first
+                # attempt is 0, so the lease generation shifts by one.
+                tag = (batch, lease.task, lease.gen - 1)
                 try:
                     handle = self._pool.apply_async(
-                        _execute_task,
-                        (tasks[index], (batch, index, attempts.get(index, 0))),
+                        _execute_task, (tasks[lease.task], tag)
                     )
                 except Exception:
                     # The pool itself is unusable; finish in-process.
-                    bump("degraded_to_serial")
-                    serial_start = time.perf_counter()
-                    value = _execute_task(
-                        tasks[index], (batch, index, attempts.get(index, 0))
-                    )
-                    finish(index, value, time.perf_counter() - serial_start)
+                    board.bump("degraded_to_serial")
+                    run_serial(lease.task, lease.gen - 1)
                     continue
-                inflight[index] = (handle, time.monotonic())
+                inflight[lease.task] = (handle, now, lease.gen)
             if not inflight:
+                if board.finished:
+                    break
+                not_before = board.next_not_before()
+                if not_before is None:
+                    # Defensive: nothing queued, nothing in flight, yet
+                    # unfinished tasks remain.  Finish them in-process
+                    # rather than spinning.
+                    for index in range(len(tasks)):
+                        if not board.is_done(index):
+                            board.bump("degraded_to_serial")
+                            run_serial(index, board.attempts.get(index, 0))
+                    continue
+                # Every queued task is still backing off; sleep toward
+                # the earliest deadline (bounded, so Ctrl-C stays snappy).
+                time.sleep(min(max(not_before - time.monotonic(), 0), 0.05))
                 continue
 
             # Wait briefly on one handle, then scan them all.
@@ -632,39 +651,43 @@ class _Session:
             obs_stream.parent_poll()
 
             pids = self._pool_pids()
-            workers_died = bool(self._worker_pids - pids) if pids else False
+            deaths = len(self._worker_pids - pids) if pids else 0
             if pids:
                 self._worker_pids = pids
 
             for index in list(inflight):
-                handle, submitted = inflight[index]
+                handle, submitted, gen = inflight[index]
                 if handle.ready():
                     del inflight[index]
-                    if results[index] is not _UNSET:
-                        continue  # a duplicate already delivered this value
                     try:
                         value = handle.get()
                     except Exception:
-                        bump("task_errors")
-                        resubmit_or_degrade(index)
+                        dispose(index, gen, "task_errors")
                     else:
-                        finish(index, value, time.monotonic() - submitted)
-                elif workers_died:
-                    # Some worker died holding an unknown task; resubmit
-                    # every in-flight task (purity makes duplicates safe).
-                    del inflight[index]
-                    self.abandoned_handles += 1
-                    resubmit_or_degrade(index)
+                        if board.complete(index, gen):
+                            finish(index, value, time.monotonic() - submitted)
                 elif (
                     timeout is not None
                     and time.monotonic() - submitted > timeout
                 ):
-                    bump("task_timeouts")
                     del inflight[index]
                     self.abandoned_handles += 1
-                    resubmit_or_degrade(index)
-            if workers_died:
-                bump("worker_crashes")
+                    # The worker holding this lease is presumed wedged:
+                    # its eventual death is this same incident.
+                    board.bank_crash_credit()
+                    dispose(index, gen, "task_timeouts")
+
+            if deaths:
+                board.bump("worker_crashes", deaths)
+                if board.consume_crash_credits(deaths) > 0:
+                    # Unattributed deaths: some worker died holding an
+                    # unknown, un-timed-out task; resubmit every in-flight
+                    # lease (purity makes duplicates safe, the board's
+                    # (task, gen) dedupe makes the charges exactly-once).
+                    for index in list(inflight):
+                        _handle, _submitted, gen = inflight.pop(index)
+                        self.abandoned_handles += 1
+                        dispose(index, gen, "")
         return results
 
 
@@ -703,8 +726,9 @@ class VerificationEngine:
             behavior).
         max_task_retries: Resubmissions per task (timeout, crash, or
             error) before the task is executed in the parent process.
-        retry_backoff: Base seconds of linear backoff between
-            resubmissions of the same task.
+        retry_backoff: Base seconds of exponential backoff between
+            resubmissions of the same task (jittered deterministically;
+            see :class:`~repro.verify.leases.BackoffPolicy`).
         failpoints: Test-only :class:`Failpoint` injections, fired inside
             workers (chaos tests for the resilience machinery).
         store: Persistent :class:`~repro.verify.store.VerdictStore`; its
@@ -722,6 +746,9 @@ class VerificationEngine:
             and exposes its live resilience counters; workers stream
             heartbeats through the monitor's published spool.  Telemetry
             never touches results -- outputs stay bit-identical.
+        dispatcher: Optional external dispatch backend (the campaign
+            daemon's worker fleet); see the attribute docstring.  When
+            set, ``jobs`` only sizes chunking -- no pool is forked.
     """
 
     def __init__(
@@ -740,6 +767,7 @@ class VerificationEngine:
         store: Optional[VerdictStore] = None,
         cache_dir: Optional[str] = None,
         monitor=None,
+        dispatcher=None,
     ) -> None:
         if not jobs:
             jobs = os.cpu_count() or 1
@@ -768,6 +796,14 @@ class VerificationEngine:
         self.tracer = tracer
         self.metrics = metrics
         self.monitor = monitor
+        #: Optional external dispatch backend (the campaign daemon's
+        #: supervised worker fleet).  An object with
+        #: ``session(context, engine)`` returning a `_Session`-shaped
+        #: object (``map``, ``task_seconds``, ``abandoned_handles``,
+        #: optional ``close()``).  When set, the engine never creates a
+        #: pool of its own: the same fold/journal/store path runs over
+        #: the external executor, preserving bit-identity for free.
+        self.dispatcher = dispatcher
         #: Whether *this* engine owns the monitor's campaign plan (the
         #: first engine to claim it does; chaos' helper engines share a
         #: monitor and only heartbeat).
@@ -842,7 +878,19 @@ class VerificationEngine:
         previous = _TASK_CONTEXT
         if self.failpoints and not context.failpoints:
             context.failpoints = self.failpoints
+        # Published even on the dispatcher path: serial degradation runs
+        # tasks in *this* process through the same `_execute_task`.
         _TASK_CONTEXT = context
+        if self.dispatcher is not None:
+            session = self.dispatcher.session(context, self)
+            try:
+                yield session
+            finally:
+                _TASK_CONTEXT = previous
+                close = getattr(session, "close", None)
+                if close is not None:
+                    close()
+            return
         pool = None
         session_start = _now_us() if self.tracer.enabled else 0
         session = None
@@ -1692,4 +1740,11 @@ class VerificationEngine:
                 registry=registry,
                 prefix="engine.stream",
             )
+        # A service dispatcher (the daemon's supervised fleet) exposes a
+        # flat counters dict: lease reclamations, retry/backoff charges,
+        # breaker transitions, worker crash/replace events.
+        counters = getattr(self.dispatcher, "counters", None)
+        if counters:
+            for name, count in sorted(counters.items()):
+                registry.counter(f"engine.service.{name}").value = count
         return registry

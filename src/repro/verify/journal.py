@@ -22,6 +22,18 @@ never fatal, so a resumed sweep recomputes exactly the units that did not
 make it to disk.  A journal whose signature does not match the requested
 sweep is refused -- resuming someone else's checkpoint would splice wrong
 results into the output.
+
+Continuation segments: a resuming writer never appends to the base file.
+A SIGKILLed predecessor usually leaves a torn final line, and ``open(...,
+"a")`` would weld the first new record onto that partial line --
+corrupting *both* records (the torn one was already unrecoverable; the
+new one is collateral).  Instead each writer that continues an existing
+journal claims a fresh ``<path>.seg-N`` sibling with ``O_CREAT|O_EXCL``
+(so two daemons resuming the same campaign can never interleave writes
+in one file) and appends there; :meth:`CheckpointJournal.load` merges the
+base file and every segment in claim order.  Segment records win over
+base records for the same unit key -- they are strictly newer -- though
+for a pure sweep both carry identical values anyway.
 """
 
 from __future__ import annotations
@@ -38,6 +50,32 @@ from repro.obs.tracer import OBS_CLOCK, now_us
 
 class JournalError(RuntimeError):
     """The journal cannot be used for this sweep (missing / mismatched)."""
+
+
+def segment_paths(path: str) -> List[str]:
+    """Existing ``<path>.seg-N`` continuation segments, in claim order."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    prefix = os.path.basename(path) + ".seg-"
+    found: List[Tuple[int, str]] = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        if not name.startswith(prefix):
+            continue
+        suffix = name[len(prefix):]
+        if suffix.isdigit():
+            found.append((int(suffix), os.path.join(directory, name)))
+    return [p for _, p in sorted(found)]
+
+
+def journal_files(path: str) -> List[str]:
+    """Every file belonging to the journal at ``path`` (base + segments),
+    existing ones only -- the unit retention GC deletes exactly these."""
+    files = [path] if os.path.exists(path) else []
+    files.extend(segment_paths(path))
+    return files
 
 
 def _line_checksum(payload: str) -> str:
@@ -119,48 +157,65 @@ class CheckpointJournal:
 
     @staticmethod
     def load(path: str) -> JournalState:
-        """Tolerantly parse ``path`` (missing file = empty state)."""
+        """Tolerantly parse ``path`` and its continuation segments
+        (missing file = empty state)."""
         state = JournalState()
-        if not os.path.exists(path):
-            return state
-        with open(path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                    checksum = record.pop("c")
-                    payload = json.dumps(record, sort_keys=True)
-                    if checksum != _line_checksum(payload):
-                        raise ValueError("checksum mismatch")
-                    kind = record["kind"]
-                    if kind == "meta":
-                        state.signature = record["signature"]
-                    elif kind == "run":
-                        state.runs[(record["cell"], record["pos"])] = (
-                            record["summary"]
-                        )
-                    elif kind == "drf0":
-                        state.drf0[record["index"]] = record["verdict"]
-                    elif kind == "judge":
-                        result = decode_result(record["result"])
-                        state.judgments[(record["fp"], result)] = (
-                            record["verdict"]
-                        )
-                    else:
-                        raise ValueError(f"unknown record kind {kind!r}")
-                except (ValueError, KeyError, TypeError):
-                    state.dropped_lines += 1
+        for part in [path] + segment_paths(path):
+            if not os.path.exists(part):
+                continue
+            with open(part, "r", encoding="utf-8") as fh:
+                CheckpointJournal._absorb(state, fh)
         return state
+
+    @staticmethod
+    def _absorb(state: JournalState, fh: IO[str]) -> None:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                checksum = record.pop("c")
+                payload = json.dumps(record, sort_keys=True)
+                if checksum != _line_checksum(payload):
+                    raise ValueError("checksum mismatch")
+                kind = record["kind"]
+                if kind == "meta":
+                    state.signature = record["signature"]
+                elif kind == "run":
+                    state.runs[(record["cell"], record["pos"])] = (
+                        record["summary"]
+                    )
+                elif kind == "drf0":
+                    state.drf0[record["index"]] = record["verdict"]
+                elif kind == "judge":
+                    result = decode_result(record["result"])
+                    state.judgments[(record["fp"], result)] = (
+                        record["verdict"]
+                    )
+                else:
+                    raise ValueError(f"unknown record kind {kind!r}")
+            except (ValueError, KeyError, TypeError):
+                state.dropped_lines += 1
 
     # -- writing -----------------------------------------------------------
 
     def open(self, signature: str, fresh: bool = False) -> None:
-        """Open for appending; write the meta line when starting fresh."""
-        mode = "w" if fresh or not os.path.exists(self.path) else "a"
-        write_meta = mode == "w"
-        self._fh = open(self.path, mode, encoding="utf-8")
+        """Open for writing; write the meta line when starting fresh.
+
+        Continuing an existing journal claims a new ``.seg-N`` sibling
+        (O_CREAT|O_EXCL) instead of appending to the base file -- see the
+        module docstring for why appending after a SIGKILL corrupts the
+        first new record.
+        """
+        if fresh:
+            for stale in segment_paths(self.path):
+                os.unlink(stale)
+        write_meta = fresh or not os.path.exists(self.path)
+        if write_meta:
+            self._fh = open(self.path, "w", encoding="utf-8")
+        else:
+            self._fh = self._claim_segment()
         if write_meta:
             # ts_us/clock stamp the journal onto the shared obs timebase
             # (comparable with heartbeat and snapshot timestamps); the
@@ -173,6 +228,20 @@ class CheckpointJournal:
                     "clock": OBS_CLOCK,
                 }
             )
+
+    def _claim_segment(self) -> IO[str]:
+        """Exclusively create the next free ``<path>.seg-N``."""
+        n = 1
+        while True:
+            candidate = f"{self.path}.seg-{n}"
+            try:
+                fd = os.open(
+                    candidate, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                n += 1
+                continue
+            return os.fdopen(fd, "w", encoding="utf-8")
 
     def _write(self, record: dict) -> None:
         assert self._fh is not None, "journal not open"

@@ -1,0 +1,462 @@
+"""The campaign daemon: leases, breaker, protocol, chaos invariance.
+
+Unit layers (TaskBoard, CircuitBreaker, CampaignSpec) run in-process;
+the integration tests fork a real daemon per test on an ephemeral port
+and drive it through :class:`repro.service.client.ServiceClient` --
+including the headline robustness obligations: injected worker kills
+plus a daemon SIGKILL/restart must leave the evidence table
+byte-identical to a serial in-process sweep, and a wedged worker's
+lease must be reclaimed (visible in ``engine.service.*``).
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.service.campaigns import CampaignError, CampaignSpec
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.supervisor import (
+    HEALTHY,
+    QUARANTINED,
+    SUSPECT,
+    CircuitBreaker,
+)
+from repro.verify.leases import (
+    DEGRADE,
+    RETRY,
+    STALE,
+    BackoffPolicy,
+    TaskBoard,
+)
+
+# ---------------------------------------------------------------------------
+# TaskBoard: lease generations, dedupe, backoff, degradation
+# ---------------------------------------------------------------------------
+
+
+def test_taskboard_first_completion_wins():
+    board = TaskBoard(2)
+    a = board.grant(0.0)
+    b = board.grant(0.0)
+    assert {a.task, b.task} == {0, 1}
+    assert board.complete(a.task, a.gen)
+    # A duplicate completion (resubmitted task finishing twice) is
+    # ignored and counted, never double-folded.
+    assert not board.complete(a.task, a.gen)
+    assert board.counters["duplicate_completions"] == 1
+    assert board.complete(b.task, b.gen)
+    assert board.finished
+
+
+def test_taskboard_charges_one_failure_per_lease():
+    """The timeout-then-crash double report: one lease, one charge."""
+    board = TaskBoard(1, max_retries=3)
+    lease = board.grant(0.0)
+    assert board.fail(lease.task, lease.gen, "task_timeouts", 0.0) == RETRY
+    # The wedged worker dies *after* its timeout was already charged:
+    # same (task, gen), so the death must not burn a second retry.
+    assert board.fail(lease.task, lease.gen, "task_timeouts", 0.1) == STALE
+    assert board.counters["task_timeouts"] == 1
+    assert board.counters["stale_failures"] == 1
+    assert board.attempts[lease.task] == 1
+
+
+def test_taskboard_stale_generation_failures_ignored():
+    board = TaskBoard(1, max_retries=3)
+    first = board.grant(0.0)
+    board.fail(first.task, first.gen, "task_errors", 0.0)
+    second = board.grant(10.0)  # the retry lease: a newer generation
+    assert second.gen == first.gen + 1
+    # A late failure report quoting the *old* generation is stale.
+    assert board.fail(first.task, first.gen, "task_errors", 10.0) == STALE
+    assert board.counters["task_errors"] == 1
+    # And completion through the current lease still lands.
+    assert board.complete(second.task, second.gen)
+
+
+def test_taskboard_backoff_then_degrade():
+    board = TaskBoard(
+        1, max_retries=2, backoff=BackoffPolicy(base=10.0, jitter=0.0)
+    )
+    lease = board.grant(0.0)
+    assert board.fail(lease.task, lease.gen, "task_errors", 0.0) == RETRY
+    # Backoff: the retry is scheduled in the future, not granted now.
+    assert board.grant(0.0) is None
+    assert board.next_not_before() is not None
+    retry = board.grant(1e9)
+    assert retry is not None
+    assert board.fail(retry.task, retry.gen, "task_errors", 1e9) == RETRY
+    third = board.grant(2e9)
+    assert board.fail(third.task, third.gen, "task_errors", 2e9) == DEGRADE
+    assert board.counters["degraded_to_serial"] == 1
+    assert board.counters["tasks_retried"] == 2
+    assert board.counters["backoff_scheduled"] >= 1
+
+
+def test_backoff_policy_is_bounded_and_jittered():
+    policy = BackoffPolicy(base=0.1, ceiling=1.0, jitter=0.5)
+    delays = [policy.delay(task=7, attempt=a) for a in range(1, 12)]
+    assert all(0.0 < d <= 1.5 for d in delays)
+    # Deterministic: same (task, attempt) -> same jitter.
+    assert policy.delay(7, 3) == policy.delay(7, 3)
+    assert policy.delay(7, 3) != policy.delay(8, 3)
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker: healthy -> suspect -> quarantined -> recovered
+# ---------------------------------------------------------------------------
+
+
+def test_circuit_breaker_lifecycle():
+    counters = {}
+    breaker = CircuitBreaker(threshold=2, probe_interval=3, counters=counters)
+    key = "cell:0"
+    assert breaker.state(key) == HEALTHY
+    assert breaker.route(key) == "fleet"
+
+    breaker.record_failure(key)
+    assert breaker.state(key) == SUSPECT
+    breaker.record_success(key)
+    assert breaker.state(key) == HEALTHY  # suspect heals on success
+
+    breaker.record_failure(key)
+    breaker.record_failure(key)
+    assert breaker.state(key) == QUARANTINED
+    assert counters["breaker_opened"] == 1
+
+    routes = [breaker.route(key) for _ in range(6)]
+    assert routes.count("serial") == 4  # every 3rd call probes the fleet
+    assert routes.count("fleet") == 2
+    assert counters["breaker_probes"] == 2
+
+    breaker.record_success(key)  # a probe came back: circuit closes
+    assert breaker.state(key) == HEALTHY
+    assert counters["breaker_recovered"] == 1
+    assert breaker.route(key) == "fleet"
+
+
+# ---------------------------------------------------------------------------
+# CampaignSpec: wire format, signatures, validation
+# ---------------------------------------------------------------------------
+
+
+def test_campaign_spec_roundtrip_and_signature():
+    spec = CampaignSpec.from_dict(
+        {
+            "programs": ["SB", "MP+sync"],
+            "policies": ["sc", "adve-hill"],
+            "seeds": 3,
+            "drf0_seeds": 2,
+        }
+    )
+    again = CampaignSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.signature() == spec.signature()
+    # Signatures are content hashes: any axis change moves them.
+    other = CampaignSpec.from_dict(
+        {"programs": ["SB"], "policies": ["sc"], "seeds": 3}
+    )
+    assert other.signature() != spec.signature()
+
+
+def test_campaign_spec_resolves_workloads_and_config():
+    spec = CampaignSpec.from_dict(
+        {
+            "programs": ["lock"],
+            "policies": ["sc"],
+            "config": {"topology": "bus", "seed": 5},
+        }
+    )
+    programs, factories, config, failpoints = spec.resolve()
+    assert programs[0].name
+    assert list(factories) == ["sc"]
+    assert config.topology == "bus" and config.seed == 5
+    assert failpoints == ()
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        {"policies": ["sc"]},  # no programs
+        {"programs": ["SB"]},  # no policies
+        {"programs": ["no-such"], "policies": ["sc"]},
+        {"programs": ["SB"], "policies": ["no-such"]},
+        {"programs": ["SB"], "policies": ["sc"], "seeds": 0},
+        {"programs": ["SB"], "policies": ["sc"], "config": {"bogus": 1}},
+        {"programs": ["SB"], "policies": ["sc"],
+         "config": {"faults": "no-such-plan"}},
+        {"programs": ["SB"], "policies": ["sc"], "failpoints": [{}]},
+    ],
+)
+def test_campaign_spec_rejects_bad_payloads(payload):
+    with pytest.raises(CampaignError):
+        spec = CampaignSpec.from_dict(payload)
+        spec.resolve()
+
+
+# ---------------------------------------------------------------------------
+# Daemon integration (one forked daemon per test, port 0 handshake)
+# ---------------------------------------------------------------------------
+
+SMALL_SPEC = {
+    "programs": ["SB"],
+    "policies": ["sc", "adve-hill"],
+    "seeds": 3,
+    "drf0_seeds": 2,
+}
+
+
+def _daemon_proc(state_dir, **kwargs):
+    from repro.service.daemon import CampaignDaemon
+
+    def entry():
+        CampaignDaemon(str(state_dir), port=0, **kwargs).serve_forever()
+
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=entry)
+    proc.start()
+    return proc
+
+
+def _wait_endpoint(state_dir, proc, timeout=30.0):
+    path = os.path.join(str(state_dir), "endpoint.json")
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                endpoint = json.load(handle)
+            if endpoint.get("pid") == proc.pid:
+                return ServiceClient(endpoint["host"], endpoint["port"])
+        except (OSError, ValueError, KeyError):
+            pass
+        assert proc.is_alive(), "daemon died during startup"
+        time.sleep(0.05)
+    raise AssertionError("daemon did not write endpoint.json in time")
+
+
+def _stop_daemon(proc, state_dir):
+    if proc.is_alive():
+        try:
+            ServiceClient.from_state_dir(str(state_dir)).shutdown()
+        except ServiceError:
+            pass
+    proc.join(timeout=30.0)
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(timeout=10.0)
+
+
+def _serial_rows(spec_dict):
+    from repro.verify.engine import VerificationEngine
+
+    spec = CampaignSpec.from_dict(spec_dict)
+    programs, factories, config, _ = spec.resolve()
+    evidence = VerificationEngine(jobs=1).definition2_sweep(
+        programs,
+        factories,
+        config=config,
+        seeds=range(spec.seeds),
+        drf0_seeds=range(spec.drf0_seeds),
+    )
+    return evidence.rows
+
+
+def test_daemon_campaign_matches_serial_and_warm_resubmit(tmp_path):
+    state = tmp_path / "svc"
+    proc = _daemon_proc(state, workers=2, task_timeout=60.0)
+    try:
+        client = _wait_endpoint(state, proc)
+        health = client.health()
+        assert health["ok"] and health["workers"] == 2
+
+        first = client.submit(SMALL_SPEC)
+        info = client.wait(first["id"], timeout=180.0)
+        assert info["state"] == "done"
+        result = client.result(first["id"])
+        assert result["contract_holds"] is True
+        baseline = json.dumps(_serial_rows(SMALL_SPEC), sort_keys=True)
+        assert json.dumps(result["rows"], sort_keys=True) == baseline
+
+        # Same spec again: answered from the shared verdict store --
+        # the warm run re-proves nothing it already judged.
+        second = client.submit(SMALL_SPEC)
+        assert second["id"] != first["id"]
+        assert second["signature"] == first["signature"]
+        client.wait(second["id"], timeout=180.0)
+        warm = client.result(second["id"])
+        assert json.dumps(warm["rows"], sort_keys=True) == baseline
+        cold_counters = result["metrics"]["counters"]
+        warm_counters = warm["metrics"]["counters"]
+        # The store counters are cumulative per daemon: the cold run
+        # flushed verdicts, the warm run reused them and added nothing.
+        assert cold_counters["engine.store.flushed_runs"] > 0
+        assert (
+            warm_counters["engine.store.flushed_runs"]
+            == cold_counters["engine.store.flushed_runs"]
+        )
+        assert warm_counters["engine.store.runs_reused"] > cold_counters.get(
+            "engine.store.runs_reused", 0
+        )
+
+        listed = client.campaigns()
+        assert [row["state"] for row in listed] == ["done", "done"]
+    finally:
+        _stop_daemon(proc, state)
+
+
+def test_daemon_reclaims_wedged_worker_lease(tmp_path):
+    """A hang-mode failpoint wedges one fleet worker mid-task: the lease
+    must time out, the worker be killed and replaced, and the retry land
+    -- all visible in ``engine.service.*`` -- with evidence unchanged."""
+    state = tmp_path / "svc"
+    spec = dict(SMALL_SPEC)
+    spec["failpoints"] = [
+        {
+            "task_kind": "run",
+            "mode": "hang",
+            "token": str(tmp_path / "wedge-token"),
+        }
+    ]
+    proc = _daemon_proc(state, workers=2, task_timeout=2.0)
+    try:
+        client = _wait_endpoint(state, proc)
+        accepted = client.submit(spec)
+        info = client.wait(accepted["id"], timeout=180.0)
+        assert info["state"] == "done"
+        result = client.result(accepted["id"])
+        baseline = json.dumps(_serial_rows(SMALL_SPEC), sort_keys=True)
+        assert json.dumps(result["rows"], sort_keys=True) == baseline
+
+        counters = result["metrics"]["counters"]
+        assert counters["engine.service.leases_reclaimed"] >= 1
+        assert counters["engine.service.task_timeouts"] >= 1
+        assert counters["engine.service.tasks_retried"] >= 1
+        assert counters["engine.service.workers_killed"] >= 1
+        assert counters["engine.service.workers_replaced"] >= 1
+    finally:
+        _stop_daemon(proc, state)
+
+
+def test_chaos_worker_kills_and_daemon_sigkill_bit_identical(tmp_path):
+    """The headline acceptance: two injected worker kills plus a daemon
+    SIGKILL/restart leave the verdict table byte-identical to serial."""
+    from repro.verify.chaos import service_kill_chaos
+
+    report = service_kill_chaos(
+        str(tmp_path / "svc"),
+        program_names=("SB",),
+        policy_names=("sc", "adve-hill"),
+        seeds=3,
+        drf0_seeds=2,
+        worker_kills=2,
+        daemon_restart=True,
+        workers=2,
+        timeout=240.0,
+    )
+    assert report["worker_kills_fired"] >= 2
+    assert report["daemon_restarts"] == 1
+    assert report["resumed_after_restart"] is True
+    assert report["rows_identical_to_serial"] is True
+    assert report["ok"] is True
+
+
+def test_daemon_sigkill_mid_campaign_resumes_byte_identical(tmp_path):
+    """Kill-and-resume without worker chaos: SIGKILL the daemon while a
+    campaign is mid-flight, restart on the same directories, and the
+    finished evidence (and its JSON bytes) must match a serial sweep."""
+    state = tmp_path / "svc"
+    spec = {
+        "programs": ["SB", "MP+sync"],
+        "policies": ["sc", "adve-hill"],
+        "seeds": 3,
+        "drf0_seeds": 2,
+    }
+    proc = _daemon_proc(state, workers=2, task_timeout=60.0)
+    client = _wait_endpoint(state, proc)
+    accepted = client.submit(spec)
+    cid = accepted["id"]
+    # Wait until the campaign is demonstrably mid-flight (journal file
+    # exists => the engine is dispatching), then murder the daemon.
+    journal = state / "campaigns" / f"{cid}.journal"
+    deadline = time.monotonic() + 60.0
+    while not journal.exists():
+        assert time.monotonic() < deadline, "campaign never started"
+        assert proc.is_alive()
+        time.sleep(0.02)
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join(timeout=10.0)
+
+    proc = _daemon_proc(state, workers=2, task_timeout=60.0)
+    try:
+        client = _wait_endpoint(state, proc)
+        info = client.wait(cid, timeout=180.0)
+        assert info["state"] == "done"
+        result = client.result(cid)
+        raw = json.dumps(result["rows"], sort_keys=True)
+        assert raw == json.dumps(_serial_rows(spec), sort_keys=True)
+        assert result["service"].get("campaigns_requeued_on_start", 0) >= 1
+    finally:
+        _stop_daemon(proc, state)
+
+
+def test_daemon_backpressure_and_bad_specs(tmp_path):
+    state = tmp_path / "svc"
+    proc = _daemon_proc(state, workers=1, queue_limit=1, task_timeout=60.0)
+    try:
+        client = _wait_endpoint(state, proc)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"programs": ["no-such"], "policies": ["sc"]})
+        assert excinfo.value.status == 400
+
+        first = client.submit(SMALL_SPEC)
+        # Queue full (1 pending/running): the next submission is told to
+        # back off, with an honest Retry-After.
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(dict(SMALL_SPEC, seeds=4))
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after is not None
+        # Bounded client-side backoff eventually lands the campaign.
+        second = client.submit_with_backoff(
+            dict(SMALL_SPEC, seeds=4), attempts=100, max_wait=180.0
+        )
+        client.wait(first["id"], timeout=180.0)
+        client.wait(second["id"], timeout=180.0)
+        health = client.health()
+        assert health["service"]["rejected_backpressure"] >= 1
+        assert health["campaigns"] == {"done": 2}
+    finally:
+        _stop_daemon(proc, state)
+
+
+def test_daemon_retention_gc_keeps_last_n_journals(tmp_path):
+    state = tmp_path / "svc"
+    proc = _daemon_proc(state, workers=1, keep_journals=1, task_timeout=60.0)
+    try:
+        client = _wait_endpoint(state, proc)
+        ids = []
+        for seeds in (2, 3, 4):  # three distinct tiny campaigns
+            accepted = client.submit(
+                {"programs": ["SB"], "policies": ["sc"], "seeds": seeds,
+                 "drf0_seeds": 2}
+            )
+            ids.append(accepted["id"])
+            client.wait(accepted["id"], timeout=180.0)
+        campaigns = state / "campaigns"
+        survivors = [
+            cid for cid in ids
+            if (campaigns / f"{cid}.journal").exists()
+        ]
+        # keep_journals=1: only the newest terminal campaign's journal
+        # survives; specs and results all do (they are the record).
+        assert survivors == [ids[-1]]
+        for cid in ids:
+            assert (campaigns / f"{cid}.json").exists()
+            assert (campaigns / f"{cid}.result.json").exists()
+        health = client.health()
+        assert health["service"]["journal_files_pruned"] >= 2
+    finally:
+        _stop_daemon(proc, state)
