@@ -1,0 +1,301 @@
+"""E18 -- the incremental axiomatic solver vs the legacy enumerator.
+
+The legacy backend (:mod:`repro.axiomatic.candidates`) materializes every
+(rf, co) combination -- factorial in the writes per location -- and only
+then filters by value resolution, atomicity, and the model axioms.  The
+solver (:mod:`repro.axiomatic.solver`) extends partial assignments one
+decision at a time under incremental cycle detection and propagation, so
+inconsistent subtrees die at their first bad edge.
+
+Each row times one workload through **all four models** (SC, COHERENCE,
+TSO, WO-DRF0) on both backends and asserts the result sets are
+**bit-identical per model** -- the same equivalence the test suite and
+the ``repro diff`` campaign check, measured here at benchmark scale.
+WO-DRF0's operational DRF0 verdict is primed outside the timed region so
+both backends are charged only for the axiomatic work.
+
+Hard gates (the point of the E18 change):
+
+* **No row slower.**  The solver must win or tie on *every* workload --
+  litmus-sized rows included, where the enumerator's cross product is
+  tiny and the solver's machinery could plausibly lose.
+* **Deep rows >= 10x.**  Rows marked deep (>= 6 writes to one location,
+  where the co permutation count explodes) must show >= 10x.
+* **Baseline regression.**  The aggregate speedup is compared against the
+  checked-in ``BENCH_e18_baseline.json`` and the run fails when it
+  regresses by more than 25% (speedup ratios are self-normalizing across
+  machines: both sides run in-process).
+
+The full suite then runs a differential campaign
+(:func:`repro.verify.diff.diff_campaign`) over 200 generated programs --
+solver vs enumerator vs operational explorer vs hardware simulator --
+and asserts zero disagreements; quick mode runs a 25-program smoke
+campaign of the same shape.
+
+Run modes::
+
+    python benchmarks/bench_e18_axiomatic.py            # full suite
+    python benchmarks/bench_e18_axiomatic.py --quick    # CI-sized suite
+    pytest benchmarks/bench_e18_axiomatic.py
+    REPRO_BENCH_QUICK=1 pytest benchmarks/bench_e18_axiomatic.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from conftest import RESULTS_DIR, emit_table
+
+from repro.axiomatic import (
+    CoherenceModel,
+    SCModel,
+    TSOModel,
+    WeakOrderingDRF,
+    allowed_results,
+)
+from repro.litmus.catalog import by_name
+from repro.machine.dsl import ThreadBuilder, build_program
+from repro.machine.program import Program
+from repro.verify.diff import diff_campaign
+
+JSON_PATH = RESULTS_DIR / "BENCH_e18_axiomatic.json"
+BASELINE_PATH = RESULTS_DIR / "BENCH_e18_baseline.json"
+
+REGRESSION_TOLERANCE = 0.25
+#: Rows flagged deep (co-permutation blowup) must show at least this.
+DEEP_ROW_SPEEDUP = 10.0
+
+
+def _quick() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _deep_program(writes: int) -> Program:
+    """``writes`` stores to one location across 3 threads, plus 2 loads.
+
+    One hot location is the enumerator's worst case: its candidate count
+    carries a ``writes!`` coherence-permutation factor, while the solver
+    prunes each coherence prefix the moment it contradicts an axiom.
+    """
+    threads = [ThreadBuilder() for _ in range(3)]
+    for i in range(writes):
+        threads[i % 3].store("x", i + 1)
+    threads[0].load("r0", "x")
+    threads[2].load("r1", "x")
+    return build_program(threads, name=f"deep{writes}")
+
+
+def _workloads(quick: bool) -> List[Tuple[str, Program, bool]]:
+    """(name, program, deep) rows: the litmus grid plus deep-co rows."""
+    names = ["SB", "SB+fence", "MP", "LB", "2+2W", "CoRR", "TAS"]
+    rows: List[Tuple[str, Program, bool]] = [
+        (name, by_name(name).program, False) for name in names
+    ]
+    rows.append(("deep6", _deep_program(6), True))
+    if not quick:
+        rows.append(("deep7", _deep_program(7), True))
+    return rows
+
+
+def _time(fn: Callable[[], object]) -> Tuple[float, object]:
+    """Best-of-N wall clock, N adapted to the row's size.
+
+    Micro rows get a deep best-of so the no-row-slower gate cannot trip
+    on timer noise; multi-second rows (the deep enumerator side) run
+    once -- their relative noise is already small.
+    """
+    start = time.perf_counter()
+    value = fn()
+    best = time.perf_counter() - start
+    if best > 2.0:
+        return best, value
+    if best < 0.001:
+        repeats = min(500, int(0.1 / max(best, 1e-6)) + 1)
+    else:
+        repeats = 4 if best < 0.05 else 2
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _bench_row(name: str, program: Program, deep: bool) -> Dict[str, object]:
+    """Time all four models through both backends on one program."""
+    wo = WeakOrderingDRF()
+    drf0 = wo.program_is_drf0(program)  # primed outside the timed region
+    models = [SCModel(), CoherenceModel(), TSOModel(), wo]
+
+    def run(backend: str) -> Dict[str, frozenset]:
+        return {
+            model.name: allowed_results(program, model, backend=backend)
+            for model in models
+        }
+
+    solver_s, solver_sets = _time(lambda: run("solver"))
+    enum_s, enum_sets = _time(lambda: run("enumerator"))
+    for model in models:
+        assert solver_sets[model.name] == enum_sets[model.name], (
+            f"{name} under {model.name}: backends disagree "
+            f"({len(solver_sets[model.name])} vs "
+            f"{len(enum_sets[model.name])} results)"
+        )
+    return {
+        "workload": name,
+        "deep": deep,
+        "drf0": drf0,
+        "enum_s": enum_s,
+        "solver_s": solver_s,
+        "speedup": enum_s / solver_s if solver_s else float("inf"),
+        "results": {m.name: len(solver_sets[m.name]) for m in models},
+    }
+
+
+def run_benchmark(quick: Optional[bool] = None) -> Dict[str, object]:
+    if quick is None:
+        quick = _quick()
+    rows = [
+        _bench_row(name, program, deep)
+        for name, program, deep in _workloads(quick)
+    ]
+
+    enum_total = sum(r["enum_s"] for r in rows)
+    solver_total = sum(r["solver_s"] for r in rows)
+    aggregate = {
+        "enum_s": enum_total,
+        "solver_s": solver_total,
+        "speedup": enum_total / solver_total if solver_total else float("inf"),
+    }
+
+    def fmt_results(r):
+        return "/".join(
+            str(r["results"][m])
+            for m in ("SC", "COHERENCE", "TSO", "WO-DRF0")
+        )
+
+    emit_table(
+        "E18",
+        "incremental axiomatic solver vs legacy enumerator"
+        + (" (quick)" if quick else ""),
+        [
+            "workload", "deep", "drf0", "enum (s)", "solver (s)",
+            "speedup", "results SC/COH/TSO/WO",
+        ],
+        [
+            [
+                r["workload"],
+                "yes" if r["deep"] else "-",
+                "yes" if r["drf0"] else "racy",
+                f"{r['enum_s']:.4f}",
+                f"{r['solver_s']:.4f}",
+                f"{r['speedup']:.2f}x",
+                fmt_results(r),
+            ]
+            for r in rows
+        ]
+        + [
+            [
+                "TOTAL", "-", "-",
+                f"{aggregate['enum_s']:.4f}",
+                f"{aggregate['solver_s']:.4f}",
+                f"{aggregate['speedup']:.2f}x",
+                "-",
+            ]
+        ],
+        notes=(
+            "Each row times all four models through both backends and "
+            "asserts bit-identical result sets per model.  Gates: solver "
+            f"slower on no row; deep rows >= {DEEP_ROW_SPEEDUP:.0f}x."
+        ),
+    )
+
+    # Gate 1: the solver must win or tie everywhere, micro rows included.
+    losers = [r for r in rows if r["speedup"] < 1.0]
+    assert not losers, "solver slower than enumerator on: " + ", ".join(
+        f"{r['workload']} ({r['speedup']:.2f}x)" for r in losers
+    )
+
+    # Gate 2: deep rows are where the pruning must actually pay.
+    shallow = [
+        r for r in rows if r["deep"] and r["speedup"] < DEEP_ROW_SPEEDUP
+    ]
+    assert not shallow, (
+        f"deep rows under {DEEP_ROW_SPEEDUP:.0f}x: " + ", ".join(
+            f"{r['workload']} ({r['speedup']:.2f}x)" for r in shallow
+        )
+    )
+
+    # Differential campaign: the solver's correctness contract at scale.
+    programs = 25 if quick else 200
+    start = time.perf_counter()
+    report = diff_campaign(range(programs))
+    diff_s = time.perf_counter() - start
+    print(
+        f"diff campaign: {report.programs_run} programs, "
+        f"{report.comparisons} comparisons, {report.hardware_runs} "
+        f"hardware runs in {diff_s:.1f}s"
+    )
+    assert report.ok, (
+        f"differential campaign found {len(report.disagreements)} "
+        "disagreements: " + "; ".join(
+            f"seed {d.seed} [{d.kind}] {d.detail}"
+            for d in report.disagreements
+        )
+    )
+
+    out = {
+        "quick": quick,
+        "rows": rows,
+        "aggregate": aggregate,
+        "diff_campaign": {
+            "programs_run": report.programs_run,
+            "comparisons": report.comparisons,
+            "hardware_runs": report.hardware_runs,
+            "seconds": diff_s,
+            "ok": report.ok,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    JSON_PATH.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {JSON_PATH}")
+
+    # Gate 3: regression vs the checked-in baseline (per suite variant).
+    variant = "quick" if quick else "full"
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        base_agg = baseline.get(variant)
+        if not isinstance(base_agg, dict):
+            print(f"baseline has no '{variant}' aggregate; gate skipped")
+        else:
+            base = base_agg["speedup"]
+            now = aggregate["speedup"]
+            floor = base * (1.0 - REGRESSION_TOLERANCE)
+            print(
+                f"regression gate ({variant}): solver speedup {now:.2f}x "
+                f"vs baseline {base:.2f}x (floor {floor:.2f}x)"
+            )
+            assert now >= floor, (
+                f"solver speedup regressed: {now:.2f}x is more than "
+                f"{REGRESSION_TOLERANCE:.0%} below the baseline "
+                f"{base:.2f}x"
+            )
+    else:
+        print(f"no baseline at {BASELINE_PATH}; gate skipped")
+    return out
+
+
+def test_axiomatic_benchmark():
+    """Pytest entry point (quick when REPRO_BENCH_QUICK is set)."""
+    run_benchmark()
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv[1:]
+    run_benchmark(quick=quick)

@@ -10,15 +10,29 @@ do not read their immediate ``co`` predecessor are discarded.
 
 The memory models in :mod:`repro.axiomatic.models` filter these candidates
 by acyclicity axioms over ``po ∪ rf ∪ co ∪ fr`` fragments.
+
+This module is the *generate-then-filter* enumerator: it materializes the
+full cross product of rf choices × per-location co permutations and
+resolves each combination.  :mod:`repro.axiomatic.solver` replaces it as
+the production backend with an incremental backtracking search; the
+enumerator is kept as the differential oracle the solver is checked
+against (the ``core/_legacy.py`` idiom).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.axiomatic.events import Event, InitWrite, ReadRef, extract_events
+from repro.axiomatic.events import (
+    Event,
+    EventLayout,
+    FenceMarker,
+    InitWrite,
+    ReadRef,
+    extract_layout,
+)
 from repro.core.execution import Result
 from repro.core.types import Location, Value
 from repro.machine.program import Program
@@ -29,6 +43,8 @@ RfMap = Dict[int, Optional[int]]
 #: co maps a location to the uids of its writes in coherence order
 #: (the implicit initializing write precedes all of them).
 CoMap = Dict[Location, Tuple[int, ...]]
+#: co positions: location -> {write uid -> index in the co order}.
+CoPosMap = Dict[Location, Dict[int, int]]
 
 
 @dataclass
@@ -36,34 +52,58 @@ class Candidate:
     """One candidate execution with resolved values."""
 
     program: Program
-    events: List[Event]
+    events: Sequence[Event]
     rf: RfMap
     co: CoMap
     read_values: Dict[int, Value]
     write_values: Dict[int, Value]
+    fences: Tuple[FenceMarker, ...] = ()
 
     def value_of_read(self, event: Event) -> Value:
         """Concrete value returned by a read event."""
         return self.read_values[event.uid]
 
+    def event(self, uid: int) -> Event:
+        """The event with this uid (no uid == list-index assumption)."""
+        table = self.__dict__.get("_event_table")
+        if table is None:
+            table = {e.uid: e for e in self.events}
+            self.__dict__["_event_table"] = table
+        return table[uid]
+
+    def co_positions(self) -> CoPosMap:
+        """Per-location {write uid -> co index}, computed once."""
+        positions = self.__dict__.get("_co_positions")
+        if positions is None:
+            positions = {
+                location: {uid: i for i, uid in enumerate(order)}
+                for location, order in self.co.items()
+            }
+            self.__dict__["_co_positions"] = positions
+        return positions
+
     def fr_edges(self) -> List[Tuple[int, int]]:
         """from-read edges: read -> writes co-after its source."""
+        cached = self.__dict__.get("_fr_edges")
+        if cached is not None:
+            return cached
+        positions = self.co_positions()
         edges: List[Tuple[int, int]] = []
         for read_uid, write_uid in self.rf.items():
-            location = self._event(read_uid).location
+            location = self.event(read_uid).location
             order = self.co.get(location, ())
             if write_uid is None:
                 later = order  # everything is after the init write
             else:
-                index = order.index(write_uid)
-                later = order[index + 1 :]
+                later = order[positions[location][write_uid] + 1 :]
             for w in later:
                 if w != read_uid:  # an RMW does not fr to itself
                     edges.append((read_uid, w))
+        self.__dict__["_fr_edges"] = edges
         return edges
 
     def _event(self, uid: int) -> Event:
-        return self.events[uid]
+        return self.event(uid)
 
     def result(self) -> Result:
         """The observable result of this candidate."""
@@ -82,7 +122,8 @@ class Candidate:
 
 def enumerate_candidates(program: Program) -> Iterator[Candidate]:
     """Yield every well-formed candidate execution of a litmus program."""
-    events = extract_events(program)
+    layout = extract_layout(program)
+    events = layout.events
     reads = [e for e in events if e.is_read]
     writes_by_loc: Dict[Location, List[Event]] = {}
     for e in events:
@@ -98,33 +139,53 @@ def enumerate_candidates(program: Program) -> Iterator[Candidate]:
         rf_choices.append(sources)
 
     locations = sorted(writes_by_loc)
-    co_choices = [
-        list(itertools.permutations([w.uid for w in writes_by_loc[loc]]))
+    # Each permutation carries its position map, computed once here rather
+    # than rediscovered with order.index() for every (rf, co) combination.
+    co_choices: List[List[Tuple[Tuple[int, ...], Dict[int, int]]]] = [
+        [
+            (perm, {uid: i for i, uid in enumerate(perm)})
+            for perm in itertools.permutations(
+                [w.uid for w in writes_by_loc[loc]]
+            )
+        ]
         for loc in locations
     ]
 
     for rf_pick in itertools.product(*rf_choices) if reads else [()]:
         rf: RfMap = {read.uid: src for read, src in zip(reads, rf_pick)}
         for co_pick in itertools.product(*co_choices) if locations else [()]:
-            co: CoMap = dict(zip(locations, co_pick))
-            candidate = _resolve(program, events, rf, co)
+            co: CoMap = {
+                loc: perm for loc, (perm, _) in zip(locations, co_pick)
+            }
+            co_pos: CoPosMap = {
+                loc: pos for loc, (_, pos) in zip(locations, co_pick)
+            }
+            candidate = _resolve(program, layout, rf, co, co_pos)
             if candidate is not None:
                 yield candidate
 
 
 def _resolve(
     program: Program,
-    events: List[Event],
+    layout: EventLayout,
     rf: RfMap,
     co: CoMap,
+    co_pos: Optional[CoPosMap] = None,
 ) -> Optional[Candidate]:
     """Propagate values; reject unstable or RMW-inconsistent candidates."""
+    events = layout.events
+    if co_pos is None:
+        co_pos = {
+            location: {uid: i for i, uid in enumerate(order)}
+            for location, order in co.items()
+        }
+    by_uid = {e.uid: e for e in events}
     # RMW atomicity at the candidate level: an RMW must read its immediate
     # co-predecessor (or the init write if it is co-first).
     for event in events:
         if event.is_read and event.is_write:
             order = co[event.location]
-            index = order.index(event.uid)
+            index = co_pos[event.location][event.uid]
             expected = None if index == 0 else order[index - 1]
             if rf[event.uid] != expected:
                 return None
@@ -144,7 +205,7 @@ def _resolve(
     def source_value(read_uid: int) -> Optional[Value]:
         src = rf[read_uid]
         if src is None:
-            location = events[read_uid].location
+            location = by_uid[read_uid].location
             return program.initial_memory[location]
         return write_values.get(src)
 
@@ -165,11 +226,15 @@ def _resolve(
                     del unresolved[write_uid]
     if pending or unresolved:
         return None  # value cycle: out-of-thin-air candidate
-    return Candidate(
+    candidate = Candidate(
         program=program,
         events=events,
         rf=rf,
         co=co,
         read_values=read_values,
         write_values=write_values,
+        fences=layout.fences,
     )
+    candidate.__dict__["_co_positions"] = co_pos
+    candidate.__dict__["_event_table"] = by_uid
+    return candidate

@@ -5,49 +5,147 @@
 straight-line program.  For the SC model the two must agree exactly --
 that agreement is property-tested in the suite, tying the axiomatic and
 operational halves of the library together.
+
+Two interchangeable backends compute the set:
+
+* ``"solver"`` (the default) -- the incremental backtracking search of
+  :mod:`repro.axiomatic.solver`, which prunes partial (rf, co)
+  assignments the moment an axiom breaks;
+* ``"enumerator"`` -- the original generate-then-filter enumeration of
+  :mod:`repro.axiomatic.candidates`, kept as the differential oracle the
+  solver is checked against (the ``core/_legacy.py`` idiom).
+
+Setting ``REPRO_AXIOMATIC_LEGACY=1`` in the environment flips the default
+back to the enumerator everywhere -- the escape hatch if the solver is
+ever suspected of disagreeing with the oracle in the wild.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List
+import os
+import time
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional
 
 from repro.axiomatic.candidates import Candidate, enumerate_candidates
 from repro.axiomatic.models import AxiomaticModel
+from repro.axiomatic.solver import (
+    SearchBudgetExceeded,
+    SolverConfig,
+    solve_candidates,
+)
 from repro.core.execution import Result
 from repro.machine.program import Program
 
+#: Environment variable forcing the legacy enumerator backend.
+LEGACY_BACKEND_ENV = "REPRO_AXIOMATIC_LEGACY"
+
+
+def default_backend() -> str:
+    """The backend used when a caller does not pick one explicitly."""
+    flag = os.environ.get(LEGACY_BACKEND_ENV, "").strip().lower()
+    return "enumerator" if flag in ("1", "true", "yes", "on") else "solver"
+
+
+def _admitted_candidates(
+    program: Program,
+    model: Optional[AxiomaticModel],
+    backend: Optional[str],
+    config: Optional[SolverConfig],
+) -> Iterator[Candidate]:
+    """Candidates the model admits, via the chosen backend.
+
+    Both backends honor the same :class:`SolverConfig` budget: the cap
+    counts admitted candidates, the deadline is wall-clock, and crossing
+    either raises :class:`SearchBudgetExceeded`.
+    """
+    backend = backend or default_backend()
+    if backend == "solver":
+        yield from solve_candidates(program, model, config)
+        return
+    if backend != "enumerator":
+        raise ValueError(f"unknown axiomatic backend {backend!r}")
+    config = config or SolverConfig()
+    deadline = (
+        time.monotonic() + config.max_seconds
+        if config.max_seconds is not None
+        else None
+    )
+    admitted = 0
+    for candidate in enumerate_candidates(program):
+        if deadline is not None and time.monotonic() > deadline:
+            raise SearchBudgetExceeded(
+                f"axiomatic search for {program.name!r} passed its deadline"
+            )
+        if model is not None and not model.allows(candidate):
+            continue
+        admitted += 1
+        if (
+            config.max_candidates is not None
+            and admitted > config.max_candidates
+        ):
+            raise SearchBudgetExceeded(
+                f"axiomatic search for {program.name!r} exceeded "
+                f"{config.max_candidates} admitted candidates"
+            )
+        yield candidate
+
 
 def allowed_results(
-    program: Program, model: AxiomaticModel
+    program: Program,
+    model: AxiomaticModel,
+    backend: Optional[str] = None,
+    config: Optional[SolverConfig] = None,
 ) -> FrozenSet[Result]:
     """Every result the model admits on ``program``."""
-    results = set()
-    for candidate in enumerate_candidates(program):
-        if model.allows(candidate):
-            results.add(candidate.result())
-    return frozenset(results)
+    return frozenset(
+        candidate.result()
+        for candidate in _admitted_candidates(program, model, backend, config)
+    )
 
 
 def allowed_candidates(
-    program: Program, model: AxiomaticModel
+    program: Program,
+    model: AxiomaticModel,
+    backend: Optional[str] = None,
+    config: Optional[SolverConfig] = None,
 ) -> List[Candidate]:
     """The admitted candidates themselves (for inspection/tests)."""
-    return [c for c in enumerate_candidates(program) if model.allows(c)]
+    return list(_admitted_candidates(program, model, backend, config))
+
+
+def well_formed_candidates(
+    program: Program,
+    backend: Optional[str] = None,
+    config: Optional[SolverConfig] = None,
+) -> Iterator[Candidate]:
+    """Every well-formed candidate, with no model axioms applied."""
+    return _admitted_candidates(program, None, backend, config)
 
 
 def outcome_table(
     programs: Iterable[Program], models: Iterable[AxiomaticModel]
 ) -> List[Dict[str, object]]:
-    """Rows of {program, model, num_results} for reporting."""
+    """Rows of {program, model, num_results} for reporting.
+
+    Each program's candidate set is enumerated exactly once and every
+    model is checked per candidate (the earlier implementation re-ran the
+    full enumeration for each model).
+    """
     rows: List[Dict[str, object]] = []
     models = list(models)
     for program in programs:
+        admitted: Dict[str, set] = {model.name: set() for model in models}
+        for candidate in well_formed_candidates(program):
+            result = candidate.result()
+            for model in models:
+                if model.allows(candidate):
+                    admitted[model.name].add(result)
         for model in models:
             rows.append(
                 {
                     "program": program.name,
                     "model": model.name,
-                    "num_results": len(allowed_results(program, model)),
+                    "num_results": len(admitted[model.name]),
                 }
             )
     return rows

@@ -6,6 +6,15 @@ list of :class:`Event` objects.  Store operands may be constants or
 registers holding a value read earlier in the same thread -- that is enough
 for data-dependency litmus tests (MP with dependent store, etc.) while
 keeping value resolution a simple fixpoint.
+
+Fences are not events: they carry no location and take part in no ``rf`` /
+``co`` / ``fr`` edge.  :func:`extract_layout` records each fence as a
+``(proc, slot)`` marker -- the fence sits *before* the thread's ``slot``-th
+memory event -- so order-sensitive models (TSO's ppo filter) can ask
+whether a fence separates a same-thread pair without the fence perturbing
+``po_index`` numbering.  :func:`extract_events` keeps the historical
+fence-rejecting behaviour for callers (delay-set analysis) whose theory
+has no fence treatment.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from repro.core.types import Location, OpKind, Value
 from repro.machine.isa import (
     Add,
     Div,
+    Fence,
     Load,
     MemoryInstruction,
     Mov,
@@ -91,14 +101,56 @@ class InitWrite:
     value: Value
 
 
+#: A fence marker ``(proc, slot)``: the fence separates the same-thread
+#: pair ``(a, b)`` exactly when ``a.po_index < slot <= b.po_index``.
+FenceMarker = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class EventLayout:
+    """The static shape of a program in the axiomatic fragment.
+
+    ``events`` are the memory events (uids dense, in thread/po order) and
+    ``fences`` the fence markers, kept out of band so every existing
+    event-indexed structure (rf, co, value maps) is untouched by fences.
+    """
+
+    events: Tuple[Event, ...]
+    fences: Tuple[FenceMarker, ...] = ()
+
+    def fence_between(self, a: Event, b: Event) -> bool:
+        """True when a fence sits po-between same-thread events a and b."""
+        if a.proc != b.proc:
+            return False
+        lo, hi = sorted((a.po_index, b.po_index))
+        return any(
+            proc == a.proc and lo < slot <= hi
+            for proc, slot in self.fences
+        )
+
+
 def extract_events(program: Program) -> List[Event]:
-    """Symbolically execute each (straight-line) thread into events."""
+    """Symbolically execute each (straight-line) thread into events.
+
+    Rejects fences: callers of this entry point (delay-set analysis)
+    model conflict/program-order graphs with no fence treatment, so a
+    silently dropped fence would produce wrong answers.  Fence-aware
+    callers use :func:`extract_layout`.
+    """
+    return list(extract_layout(program, allow_fences=False).events)
+
+
+def extract_layout(
+    program: Program, allow_fences: bool = True
+) -> EventLayout:
+    """Symbolically execute a straight-line program into an event layout."""
     if not program.is_straight_line():
         raise UnsupportedProgram(
             f"program {program.name!r} has branches; the axiomatic layer "
             "handles straight-line litmus programs only"
         )
     events: List[Event] = []
+    fences: List[FenceMarker] = []
     uid = 0
     for proc, code in enumerate(program.threads):
         regs: Dict[str, SymValue] = {}
@@ -159,6 +211,14 @@ def extract_events(program: Program) -> List[Event]:
                 dst = getattr(instr, "dst", None)
                 if dst is not None and instr.kind.has_read:
                     regs[dst] = ReadRef(event.uid)
+            elif isinstance(instr, Fence):
+                if not allow_fences:
+                    raise UnsupportedProgram(
+                        f"instruction {instr!r} outside the axiomatic fragment"
+                    )
+                # The fence sits before the thread's next memory event;
+                # po_index numbering is not perturbed.
+                fences.append((proc, po_index))
             else:
                 # Delay is harmless; branches were excluded above.
                 from repro.machine.isa import Delay, Halt
@@ -167,4 +227,4 @@ def extract_events(program: Program) -> List[Event]:
                     raise UnsupportedProgram(
                         f"instruction {instr!r} outside the axiomatic fragment"
                     )
-    return events
+    return EventLayout(events=tuple(events), fences=tuple(fences))

@@ -1,15 +1,16 @@
 """Axiomatic memory models over candidate executions.
 
-Each model is an acyclicity predicate over fragments of
+Each model is a conjunction of acyclicity axioms over fragments of
 ``po ∪ rf ∪ co ∪ fr``:
 
 * :class:`SCModel` -- sequential consistency: ``acyclic(po ∪ rf ∪ co ∪ fr)``
   (the standard equivalent of Lamport's definition for candidate
   executions);
 * :class:`TSOModel` -- a TSO-like model: program order loses its
-  write-to-read edges (different locations), internal reads-from is
-  relaxed (store-to-load forwarding), and SC-per-location is kept.
-  Included as the classic "write buffer with bypassing" comparison point;
+  write-to-read edges (different locations, no intervening fence),
+  internal reads-from is relaxed (store-to-load forwarding), and
+  SC-per-location is kept.  Included as the classic "write buffer with
+  bypassing" comparison point;
 * :class:`CoherenceModel` -- only per-location orderings (what a cache
   coherence protocol alone guarantees; [Col90]'s write serialization).
 
@@ -18,26 +19,113 @@ Definition 2: for programs that obey DRF0 it admits exactly the SC
 candidates; for other programs it admits everything coherent (the paper
 lets non-conforming software observe anything the substrate can produce,
 "random values" included -- coherence is our substrate's floor).
+
+Every model exposes its axioms in two equivalent forms:
+
+* :meth:`AxiomaticModel.allows` -- the batch predicate over a finished
+  :class:`~repro.axiomatic.candidates.Candidate` (used by the legacy
+  enumerator oracle and by single-candidate queries);
+* :meth:`AxiomaticModel.axiom_graphs` -- the same axioms as
+  :class:`AxiomGraph` descriptors (static program-order edge lists plus
+  an rf filter), which the incremental solver
+  (:mod:`repro.axiomatic.solver`) turns into online cycle detectors.
+
+Both forms are derived from the same edge-pair helpers, so the solver and
+the oracle cannot drift apart on what each axiom contains.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.axiomatic.candidates import Candidate
+from repro.axiomatic.events import Event, EventLayout, FenceMarker
 from repro.core.relations import Relation
+from repro.machine.program import Program
 
 
-def _program_order_edges(candidate: Candidate) -> List[Tuple[int, int]]:
+@dataclass(frozen=True)
+class AxiomGraph:
+    """One acyclicity axiom: a static po fragment plus dynamic edges.
+
+    ``po_pairs`` is the model's program-order contribution, fixed per
+    program.  The dynamic relations are implied: every axiom graph also
+    contains ``co``, ``fr``, and ``rf`` -- all of rf when
+    ``external_rf_only`` is False, only cross-processor rf edges when
+    True (TSO's ``rfe``: store-to-load forwarding drops internal rf from
+    the global ordering requirement).
+    """
+
+    name: str
+    po_pairs: Tuple[Tuple[int, int], ...]
+    external_rf_only: bool = False
+
+
+def _by_proc(events: Sequence[Event]) -> List[List[Event]]:
     by_proc: dict = {}
-    for event in candidate.events:
+    for event in events:
         by_proc.setdefault(event.proc, []).append(event)
+    rows = []
+    for proc in sorted(by_proc):
+        row = by_proc[proc]
+        row.sort(key=lambda e: e.po_index)
+        rows.append(row)
+    return rows
+
+
+def po_adjacent_pairs(layout: EventLayout) -> Tuple[Tuple[int, int], ...]:
+    """Adjacent same-thread pairs: the transitive reduction of po."""
     edges = []
-    for events in by_proc.values():
-        events.sort(key=lambda e: e.po_index)
-        for a, b in zip(events, events[1:]):
+    for row in _by_proc(layout.events):
+        for a, b in zip(row, row[1:]):
             edges.append((a.uid, b.uid))
-    return edges
+    return tuple(edges)
+
+
+def po_loc_pairs(layout: EventLayout) -> Tuple[Tuple[int, int], ...]:
+    """Adjacent same-thread pairs restricted to a common location."""
+    by_uid = {e.uid: e for e in layout.events}
+    return tuple(
+        (a, b)
+        for (a, b) in po_adjacent_pairs(layout)
+        if by_uid[a].location == by_uid[b].location
+    )
+
+
+def tso_ppo_pairs(layout: EventLayout) -> Tuple[Tuple[int, int], ...]:
+    """TSO's preserved program order, over the *closure* of po.
+
+    The filter must look at every same-thread pair, not just adjacent
+    ones: with only adjacent edges, a dropped W->R edge would be
+    recreated transitively through an intermediate event.  A pair is
+    dropped when it is a write-only event before a read-only event of a
+    different location -- unless a fence sits po-between them, which
+    restores the ordering (the write buffer drains at the fence).
+    """
+    edges = []
+    for row in _by_proc(layout.events):
+        for i, a in enumerate(row):
+            for b in row[i + 1 :]:
+                relaxed = (
+                    a.is_write
+                    and not a.is_read
+                    and b.is_read
+                    and not b.is_write
+                    and a.location != b.location
+                    and not layout.fence_between(a, b)
+                )
+                if not relaxed:
+                    edges.append((a.uid, b.uid))
+    return tuple(edges)
+
+
+def _candidate_layout(candidate: Candidate) -> EventLayout:
+    layout = candidate.__dict__.get("_layout")
+    if layout is None:
+        layout = EventLayout(tuple(candidate.events), candidate.fences)
+        candidate.__dict__["_layout"] = layout
+    return layout
 
 
 def _rf_edges(candidate: Candidate) -> List[Tuple[int, int]]:
@@ -56,7 +144,7 @@ def _co_edges(candidate: Candidate) -> List[Tuple[int, int]]:
     return edges
 
 
-def _acyclic(edge_groups: Iterable[List[Tuple[int, int]]]) -> bool:
+def _acyclic(edge_groups: Iterable[Iterable[Tuple[int, int]]]) -> bool:
     relation = Relation()
     for edges in edge_groups:
         for a, b in edges:
@@ -64,14 +152,37 @@ def _acyclic(edge_groups: Iterable[List[Tuple[int, int]]]) -> bool:
     return relation.is_acyclic()
 
 
+def _graph_allows(candidate: Candidate, graph: AxiomGraph) -> bool:
+    rf = _rf_edges(candidate)
+    if graph.external_rf_only:
+        rf = [
+            (src, read_uid)
+            for (src, read_uid) in rf
+            if candidate.event(src).proc != candidate.event(read_uid).proc
+        ]
+    return _acyclic(
+        [graph.po_pairs, rf, _co_edges(candidate), candidate.fr_edges()]
+    )
+
+
 class AxiomaticModel:
     """Base: a predicate over candidate executions."""
 
     name = "abstract"
 
+    def axiom_graphs(
+        self, program: Program, layout: EventLayout
+    ) -> List[AxiomGraph]:
+        """The model's acyclicity axioms for this program's layout."""
+        raise NotImplementedError
+
     def allows(self, candidate: Candidate) -> bool:
         """True when this model admits the candidate."""
-        raise NotImplementedError
+        layout = _candidate_layout(candidate)
+        return all(
+            _graph_allows(candidate, graph)
+            for graph in self.axiom_graphs(candidate.program, layout)
+        )
 
 
 class SCModel(AxiomaticModel):
@@ -79,15 +190,10 @@ class SCModel(AxiomaticModel):
 
     name = "SC"
 
-    def allows(self, candidate: Candidate) -> bool:
-        return _acyclic(
-            [
-                _program_order_edges(candidate),
-                _rf_edges(candidate),
-                _co_edges(candidate),
-                candidate.fr_edges(),
-            ]
-        )
+    def axiom_graphs(
+        self, program: Program, layout: EventLayout
+    ) -> List[AxiomGraph]:
+        return [AxiomGraph("sc", po_adjacent_pairs(layout))]
 
 
 class CoherenceModel(AxiomaticModel):
@@ -95,65 +201,33 @@ class CoherenceModel(AxiomaticModel):
 
     name = "COHERENCE"
 
-    def allows(self, candidate: Candidate) -> bool:
-        events = candidate.events
-        po_loc = [
-            (a, b)
-            for (a, b) in _program_order_edges(candidate)
-            if events[a].location == events[b].location
-        ]
-        return _acyclic(
-            [po_loc, _rf_edges(candidate), _co_edges(candidate), candidate.fr_edges()]
-        )
+    def axiom_graphs(
+        self, program: Program, layout: EventLayout
+    ) -> List[AxiomGraph]:
+        return [AxiomGraph("coherence", po_loc_pairs(layout))]
 
 
 class TSOModel(AxiomaticModel):
     """TSO-like: write->read program order relaxed, store forwarding.
 
-    ``ppo`` drops write-to-read pairs; external reads-from, coherence and
-    from-read stay global; per-location SC is enforced separately.  A
-    faithful SPARC/x86-TSO model has further subtleties (this one is the
-    textbook approximation, which is exact on the catalog's tests).
+    ``ppo`` drops write-to-read pairs (restored by fences); external
+    reads-from, coherence and from-read stay global; per-location SC is
+    enforced separately.  A faithful SPARC/x86-TSO model has further
+    subtleties (this one is the textbook approximation, which is exact on
+    the catalog's tests).
     """
 
     name = "TSO"
 
-    def allows(self, candidate: Candidate) -> bool:
-        if not CoherenceModel().allows(candidate):
-            return False
-        events = candidate.events
-        ppo = [
-            (a, b)
-            for (a, b) in _program_order_edges_closure(candidate)
-            if not (events[a].is_write and not events[a].is_read
-                    and events[b].is_read and not events[b].is_write
-                    and events[a].location != events[b].location)
+    def axiom_graphs(
+        self, program: Program, layout: EventLayout
+    ) -> List[AxiomGraph]:
+        return [
+            AxiomGraph("coherence", po_loc_pairs(layout)),
+            AxiomGraph(
+                "tso", tso_ppo_pairs(layout), external_rf_only=True
+            ),
         ]
-        rfe = [
-            (src, read_uid)
-            for (src, read_uid) in _rf_edges(candidate)
-            if events[src].proc != events[read_uid].proc
-        ]
-        return _acyclic([ppo, rfe, _co_edges(candidate), candidate.fr_edges()])
-
-
-def _program_order_edges_closure(candidate: Candidate) -> List[Tuple[int, int]]:
-    """All (earlier, later) same-thread pairs, not just adjacent ones.
-
-    TSO's ppo filter must look at every pair: with only adjacent edges, the
-    missing W->R edge would be recreated transitively through an
-    intermediate event.
-    """
-    by_proc: dict = {}
-    for event in candidate.events:
-        by_proc.setdefault(event.proc, []).append(event)
-    edges = []
-    for events in by_proc.values():
-        events.sort(key=lambda e: e.po_index)
-        for i, a in enumerate(events):
-            for b in events[i + 1 :]:
-                edges.append((a.uid, b.uid))
-    return edges
 
 
 class WeakOrderingDRF(AxiomaticModel):
@@ -170,8 +244,8 @@ class WeakOrderingDRF(AxiomaticModel):
     def __init__(self) -> None:
         self._verdicts: dict = {}
 
-    def _program_is_drf0(self, candidate: Candidate) -> bool:
-        program = candidate.program
+    def program_is_drf0(self, program: Program) -> bool:
+        """The (cached) operational DRF0 verdict the contract hinges on."""
         key = id(program)
         if key not in self._verdicts:
             from repro.core.drf0 import check_program
@@ -179,10 +253,16 @@ class WeakOrderingDRF(AxiomaticModel):
             self._verdicts[key] = check_program(program).obeys
         return self._verdicts[key]
 
-    def allows(self, candidate: Candidate) -> bool:
-        if self._program_is_drf0(candidate):
-            return SCModel().allows(candidate)
-        return CoherenceModel().allows(candidate)
+    def prime_verdict(self, program: Program, obeys: bool) -> None:
+        """Pre-seed the DRF0 verdict (campaigns that already know it)."""
+        self._verdicts[id(program)] = bool(obeys)
+
+    def axiom_graphs(
+        self, program: Program, layout: EventLayout
+    ) -> List[AxiomGraph]:
+        if self.program_is_drf0(program):
+            return SCModel().axiom_graphs(program, layout)
+        return CoherenceModel().axiom_graphs(program, layout)
 
 
 #: The models compared in the E7 litmus table.

@@ -1,0 +1,498 @@
+"""Incremental backtracking search over candidate executions.
+
+The legacy enumerator (:mod:`repro.axiomatic.candidates`) materializes the
+full cross product of reads-from choices × per-location coherence
+permutations and only then filters by value resolution, RMW atomicity, and
+the model's acyclicity axioms -- factorial work, most of it spent on
+candidates that die on their very first inconsistent edge.  This module
+replaces it with a solver that extends a partial (rf, co) assignment one
+decision at a time and rejects the partial assignment the moment any
+axiom breaks:
+
+* **Decision order.**  For each location (sorted), the coherence order is
+  grown append-only: each decision picks the next write in ``co``.  Once
+  every write is placed, each non-RMW read picks its ``rf`` source (the
+  initializing write or any same-location write).
+* **Incremental cycle detection.**  Every axiom graph the model supplies
+  (:meth:`~repro.axiomatic.models.AxiomaticModel.axiom_graphs`) is
+  maintained as a Pearce--Kelly online topological order with an undo
+  trail: adding the co/rf/fr edges a decision implies either keeps the
+  order consistent or proves a cycle, in which case the whole subtree is
+  pruned.
+* **Unit propagation.**  An RMW's rf is forced the instant the RMW is
+  placed in ``co`` (it must read its immediate co-predecessor), and in
+  target mode (:func:`result_allowed`) a read whose required value is
+  pinned by the target result prunes rf sources by value.
+* **Value propagation.**  Concrete values flow through rf edges and
+  same-thread data dependencies as soon as they are implied, and a
+  functional value-dependency graph (write -> the read its stored value
+  names, rf source -> read) is kept acyclic online: a cycle there is
+  exactly the out-of-thin-air condition the enumerator's value fixpoint
+  rejects, detected here before the candidate is ever completed.
+
+The solver and the enumerator consume the same
+:class:`~repro.axiomatic.models.AxiomGraph` descriptors, so the two
+backends cannot drift on what each axiom contains; their result sets are
+asserted bit-identical in the test suite and in benchmark E18.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.axiomatic.candidates import Candidate
+from repro.axiomatic.events import EventLayout, ReadRef, extract_layout
+from repro.axiomatic.models import AxiomaticModel, AxiomGraph
+from repro.core.execution import Result
+from repro.core.types import Location, Value
+from repro.machine.program import Program
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The candidate search exceeded its configured cap or deadline."""
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Resource bounds shared by the solver and the legacy enumerator.
+
+    ``max_candidates`` bounds the number of *admitted* candidates a query
+    may produce; ``max_seconds`` is a wall-clock deadline.  Either bound
+    being crossed raises :class:`SearchBudgetExceeded` -- the caller
+    asked a question too big for the budget, and a silently truncated
+    result set would be indistinguishable from a small one.
+    """
+
+    max_candidates: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+
+class _IncrementalOrder:
+    """Online topological order with undo (Pearce & Kelly 2004).
+
+    ``add_edge`` keeps nodes in a total order consistent with all edges
+    added so far, touching only the affected region between the edge's
+    endpoints; it returns False (mutating nothing) when the edge would
+    close a cycle.  The trail records edge insertions and position
+    reassignments so a backtracking search can rewind to any mark.
+    """
+
+    __slots__ = ("ord", "succs", "preds", "trail")
+
+    def __init__(self, n: int) -> None:
+        self.ord = list(range(n))
+        self.succs: List[List[int]] = [[] for _ in range(n)]
+        self.preds: List[List[int]] = [[] for _ in range(n)]
+        self.trail: List[Tuple[int, int, int]] = []
+
+    def mark(self) -> int:
+        return len(self.trail)
+
+    def undo_to(self, mark: int) -> None:
+        trail = self.trail
+        while len(trail) > mark:
+            kind, x, y = trail.pop()
+            if kind == 0:  # edge (x, y)
+                self.succs[x].pop()
+                self.preds[y].pop()
+            else:  # node x held position y
+                self.ord[x] = y
+
+    def add_edge(self, a: int, b: int) -> bool:
+        if a == b:
+            return False
+        ordv = self.ord
+        ub = ordv[a]
+        lb = ordv[b]
+        if lb > ub:  # already consistent: append and done
+            self.succs[a].append(b)
+            self.preds[b].append(a)
+            self.trail.append((0, a, b))
+            return True
+        # Discovery: the affected region is [lb, ub].  Along any path in
+        # a consistent order positions strictly increase, so bounding the
+        # DFS by the region is sound.
+        forward = []
+        seen_f = {b}
+        stack = [b]
+        while stack:
+            u = stack.pop()
+            forward.append(u)
+            for v in self.succs[u]:
+                if v == a:
+                    return False  # b reaches a: the edge closes a cycle
+                if v not in seen_f and ordv[v] <= ub:
+                    seen_f.add(v)
+                    stack.append(v)
+        backward = []
+        seen_b = {a}
+        stack = [a]
+        while stack:
+            u = stack.pop()
+            backward.append(u)
+            for v in self.preds[u]:
+                if v not in seen_b and ordv[v] >= lb:
+                    seen_b.add(v)
+                    stack.append(v)
+        # Reassign: pool the affected positions and give them back with
+        # everything reaching `a` before everything reachable from `b`.
+        backward.sort(key=ordv.__getitem__)
+        forward.sort(key=ordv.__getitem__)
+        affected = backward + forward
+        positions = sorted(ordv[u] for u in affected)
+        trail = self.trail
+        for u, p in zip(affected, positions):
+            trail.append((1, u, ordv[u]))
+            ordv[u] = p
+        self.succs[a].append(b)
+        self.preds[b].append(a)
+        trail.append((0, a, b))
+        return True
+
+
+_NOPIN = object()
+
+
+class _Search:
+    """One solver run: program layout, axiom graphs, optional target."""
+
+    def __init__(
+        self,
+        program: Program,
+        layout: EventLayout,
+        graphs: Sequence[AxiomGraph],
+        config: Optional[SolverConfig] = None,
+        target: Optional[Result] = None,
+    ) -> None:
+        self.program = program
+        self.layout = layout
+        events = layout.events
+        self.by_uid = {e.uid: e for e in events}
+        n = max((e.uid for e in events), default=-1) + 1
+
+        self.graphs: List[Tuple[AxiomGraph, _IncrementalOrder]] = []
+        for graph in graphs:
+            order = _IncrementalOrder(n)
+            for a, b in graph.po_pairs:
+                if not order.add_edge(a, b):  # pragma: no cover - static po
+                    raise AssertionError("static program order is cyclic")
+            self.graphs.append((graph, order))
+
+        # Functional value-dependency graph: read -> writes naming it.
+        self.value_order = _IncrementalOrder(n)
+        self.writes_of_read: Dict[int, List[int]] = {}
+        self.wval: Dict[int, Value] = {}
+        for e in events:
+            if e.is_write:
+                if isinstance(e.write_value, ReadRef):
+                    self.writes_of_read.setdefault(
+                        e.write_value.event_uid, []
+                    ).append(e.uid)
+                    self.value_order.add_edge(e.write_value.event_uid, e.uid)
+                else:
+                    self.wval[e.uid] = e.write_value
+
+        self.writes_by_loc: Dict[Location, List[int]] = {}
+        for e in events:
+            if e.is_write:
+                self.writes_by_loc.setdefault(e.location, []).append(e.uid)
+
+        self.rval: Dict[int, Value] = {}
+        self.readers_waiting: Dict[int, List[int]] = {}
+        self.rf: Dict[int, Optional[int]] = {}
+        self.co_orders: Dict[Location, List[int]] = {
+            loc: [] for loc in self.writes_by_loc
+        }
+        self.co_pos: Dict[Location, Dict[int, int]] = {
+            loc: {} for loc in self.writes_by_loc
+        }
+        self.assigned_reads_by_loc: Dict[Location, List[int]] = {}
+        self.trail: List[Tuple[str, object]] = []
+
+        # Decision plan: grow each location's co, then assign free reads.
+        self.plan: List[Tuple[str, object]] = []
+        for loc in sorted(self.writes_by_loc):
+            for _ in self.writes_by_loc[loc]:
+                self.plan.append(("place", loc))
+        for e in events:
+            if e.is_read and not e.is_write:  # RMW rf is forced at placement
+                self.plan.append(("rf", e.uid))
+
+        config = config or SolverConfig()
+        self.max_candidates = config.max_candidates
+        self.deadline = (
+            time.monotonic() + config.max_seconds
+            if config.max_seconds is not None
+            else None
+        )
+        self.admitted = 0
+
+        self.pin: Dict[int, Value] = {}
+        self.target_ok = True
+        if target is not None:
+            self.target_ok = self._build_pins(target)
+
+    # -- target mode -------------------------------------------------
+
+    def _build_pins(self, target: Result) -> bool:
+        """Pin each read's value from the target result, per-proc in po
+        order.  A shape mismatch means no candidate can match."""
+        reads_by_proc: Dict[int, List[int]] = {}
+        for e in sorted(self.by_uid.values(), key=lambda e: (e.proc, e.po_index)):
+            if e.is_read:
+                reads_by_proc.setdefault(e.proc, []).append(e.uid)
+        for proc in range(self.program.num_procs):
+            uids = reads_by_proc.get(proc, [])
+            values = target.reads[proc] if proc < len(target.reads) else ()
+            if len(uids) != len(values):
+                return False
+            for uid, value in zip(uids, values):
+                self.pin[uid] = value
+        return True
+
+    # -- trail -------------------------------------------------------
+
+    def _mark(self) -> Tuple[int, ...]:
+        return (
+            len(self.trail),
+            self.value_order.mark(),
+            *(order.mark() for _, order in self.graphs),
+        )
+
+    def _undo(self, marks: Tuple[int, ...]) -> None:
+        trail = self.trail
+        while len(trail) > marks[0]:
+            kind, arg = trail.pop()
+            if kind == "rval":
+                del self.rval[arg]
+            elif kind == "wval":
+                del self.wval[arg]
+            elif kind == "wait":
+                self.readers_waiting[arg].pop()
+            elif kind == "rf":
+                del self.rf[arg]
+            elif kind == "co":
+                uid = self.co_orders[arg].pop()
+                del self.co_pos[arg][uid]
+            else:  # "areader"
+                self.assigned_reads_by_loc[arg].pop()
+        self.value_order.undo_to(marks[1])
+        for (_, order), mark in zip(self.graphs, marks[2:]):
+            order.undo_to(mark)
+
+    # -- propagation -------------------------------------------------
+
+    def _add_edge_all(self, a: int, b: int, rf_edge: bool = False) -> bool:
+        by_uid = self.by_uid
+        for graph, order in self.graphs:
+            if (
+                rf_edge
+                and graph.external_rf_only
+                and by_uid[a].proc == by_uid[b].proc
+            ):
+                continue
+            if not order.add_edge(a, b):
+                return False
+        return True
+
+    def _set_read_value(self, uid: int, value: Value) -> bool:
+        pin = self.pin.get(uid, _NOPIN)
+        if pin is not _NOPIN and pin != value:
+            return False
+        self.rval[uid] = value
+        self.trail.append(("rval", uid))
+        for w in self.writes_of_read.get(uid, ()):
+            self.wval[w] = value
+            self.trail.append(("wval", w))
+            for r2 in list(self.readers_waiting.get(w, ())):
+                if not self._set_read_value(r2, value):
+                    return False
+        return True
+
+    def _propagate_rf_value(self, read_uid: int, src: Optional[int]) -> bool:
+        if src is None:
+            initial = self.program.initial_memory[
+                self.by_uid[read_uid].location
+            ]
+            return self._set_read_value(read_uid, initial)
+        value = self.wval.get(src)
+        if value is not None:
+            return self._set_read_value(read_uid, value)
+        # The source write's value hangs on a not-yet-resolved read; park
+        # this read to be resolved by the cascade when the value lands.
+        self.readers_waiting.setdefault(src, []).append(read_uid)
+        self.trail.append(("wait", src))
+        return True
+
+    def _assign_rf(self, read_uid: int, src: Optional[int]) -> bool:
+        self.rf[read_uid] = src
+        self.trail.append(("rf", read_uid))
+        loc = self.by_uid[read_uid].location
+        self.assigned_reads_by_loc.setdefault(loc, []).append(read_uid)
+        self.trail.append(("areader", loc))
+        if src is not None:
+            if not self._add_edge_all(src, read_uid, rf_edge=True):
+                return False
+            if not self.value_order.add_edge(src, read_uid):
+                return False  # out-of-thin-air value cycle
+        # fr: this read precedes every write already placed co-after its
+        # source (writes placed later add their own fr at placement).
+        order = self.co_orders.get(loc)
+        if order:
+            start = 0 if src is None else self.co_pos[loc][src] + 1
+            for w in order[start:]:
+                if w != read_uid and not self._add_edge_all(read_uid, w):
+                    return False
+        return self._propagate_rf_value(read_uid, src)
+
+    def _place_write(self, loc: Location, uid: int) -> bool:
+        order = self.co_orders[loc]
+        pred = order[-1] if order else None
+        order.append(uid)
+        self.co_pos[loc][uid] = len(order) - 1
+        self.trail.append(("co", loc))
+        if pred is not None and not self._add_edge_all(pred, uid):
+            return False
+        # fr: every already-assigned read of this location precedes the
+        # new write (their sources are all co-before it).
+        for r in self.assigned_reads_by_loc.get(loc, ()):
+            if r != uid and not self._add_edge_all(r, uid):
+                return False
+        event = self.by_uid[uid]
+        if event.is_read:
+            # Unit propagation: an RMW reads its immediate co-predecessor.
+            return self._assign_rf(uid, pred)
+        return True
+
+    # -- search ------------------------------------------------------
+
+    def _rf_sources(self, read_uid: int) -> Iterator[Optional[int]]:
+        loc = self.by_uid[read_uid].location
+        pin = self.pin.get(read_uid, _NOPIN)
+        if pin is _NOPIN:
+            yield None
+            yield from self.writes_by_loc.get(loc, ())
+            return
+        if self.program.initial_memory[loc] == pin:
+            yield None
+        for src in self.writes_by_loc.get(loc, ()):
+            value = self.wval.get(src)
+            if value is None or value == pin:
+                yield src
+
+    def run(self) -> Iterator[Candidate]:
+        if not self.target_ok:
+            return
+        yield from self._decide(0)
+
+    def _decide(self, i: int) -> Iterator[Candidate]:
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise SearchBudgetExceeded(
+                f"axiomatic search for {self.program.name!r} passed its "
+                "deadline"
+            )
+        plan = self.plan
+        if i == len(plan):
+            yield self._leaf()
+            return
+        kind, arg = plan[i]
+        if kind == "place":
+            loc = arg
+            placed = self.co_pos[loc]
+            for uid in self.writes_by_loc[loc]:
+                if uid in placed:
+                    continue
+                marks = self._mark()
+                if self._place_write(loc, uid):
+                    yield from self._decide(i + 1)
+                self._undo(marks)
+        else:
+            read_uid = arg
+            for src in self._rf_sources(read_uid):
+                marks = self._mark()
+                if self._assign_rf(read_uid, src):
+                    yield from self._decide(i + 1)
+                self._undo(marks)
+
+    def _leaf(self) -> Candidate:
+        self.admitted += 1
+        if (
+            self.max_candidates is not None
+            and self.admitted > self.max_candidates
+        ):
+            raise SearchBudgetExceeded(
+                f"axiomatic search for {self.program.name!r} exceeded "
+                f"{self.max_candidates} admitted candidates"
+            )
+        candidate = Candidate(
+            program=self.program,
+            events=self.layout.events,
+            rf=dict(self.rf),
+            co={
+                loc: tuple(order) for loc, order in self.co_orders.items()
+            },
+            read_values=dict(self.rval),
+            write_values=dict(self.wval),
+            fences=self.layout.fences,
+        )
+        candidate.__dict__["_event_table"] = self.by_uid
+        candidate.__dict__["_co_positions"] = {
+            loc: dict(pos) for loc, pos in self.co_pos.items()
+        }
+        return candidate
+
+
+def solve_candidates(
+    program: Program,
+    model: Optional[AxiomaticModel] = None,
+    config: Optional[SolverConfig] = None,
+) -> Iterator[Candidate]:
+    """Yield the candidates the model admits, search-pruned.
+
+    With ``model=None`` the search runs with no acyclicity axioms and
+    yields exactly the well-formed candidate set (RMW atomicity and value
+    consistency still prune) -- the single-enumeration backend for
+    multi-model tables.
+    """
+    layout = extract_layout(program)
+    graphs = (
+        model.axiom_graphs(program, layout) if model is not None else ()
+    )
+    return _Search(program, layout, graphs, config=config).run()
+
+
+def solver_allowed_results(
+    program: Program,
+    model: AxiomaticModel,
+    config: Optional[SolverConfig] = None,
+) -> FrozenSet[Result]:
+    """Every result the model admits on ``program`` (solver backend)."""
+    return frozenset(
+        candidate.result()
+        for candidate in solve_candidates(program, model, config)
+    )
+
+
+def result_allowed(
+    program: Program,
+    model: AxiomaticModel,
+    result: Result,
+    config: Optional[SolverConfig] = None,
+) -> bool:
+    """Does the model admit this exact result?
+
+    Runs the search in target mode: every read's value is pinned from the
+    result, so rf sources with a known conflicting value are never even
+    branched on, and the search exits on the first matching candidate.
+    """
+    layout = extract_layout(program)
+    graphs = model.axiom_graphs(program, layout)
+    search = _Search(
+        program, layout, graphs, config=config, target=result
+    )
+    for candidate in search.run():
+        if candidate.result() == result:
+            return True
+    return False

@@ -812,6 +812,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
+        "diff",
+        help="differential campaign: axiomatic solver vs enumerator vs "
+             "operational explorers vs the hardware simulator",
+    )
+    p.add_argument("--programs", type=int, default=200)
+    p.add_argument("--start-seed", type=int, default=0)
+    p.add_argument("--hw-seeds", type=int, default=2,
+                   help="hardware nondeterminism seeds per substrate")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (0 = one per CPU); output is "
+                        "identical to --jobs 1")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="persistent verdict store shared across runs")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="skip DSL-level shrinking of disagreements")
+    p.add_argument("--report", metavar="FILE", default=None,
+                   help="also write the campaign report (with minimized "
+                        "litmus reproducers) as JSON")
+    p.add_argument("--metrics-json", metavar="FILE", default=None,
+                   help="write engine metrics (incl. aggregated cache hit "
+                        "rates and store counters) as JSON")
+    add_status_arg(p)
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser(
         "chaos",
         help="fault-injection resilience suite (verdict invariance + "
              "liveness detection)",
@@ -1263,6 +1288,76 @@ def cmd_fuzz(args) -> int:
     )
     for failure in report.failures[:10]:
         print(f"  {failure}")
+    if engine.store is not None:
+        engine.store.close()
+    if registry is not None:
+        engine.metrics_snapshot(registry)
+    _write_obs_outputs(args, None, registry)
+    return 0 if report.ok else 1
+
+
+def cmd_diff(args) -> int:
+    from repro.verify.diff import render_program, report_as_dict
+    from repro.verify.engine import VerificationEngine
+
+    if args.jobs < 0:
+        raise _usage_error(
+            f"--jobs must be >= 0 (got {args.jobs}); 0 means one per CPU"
+        )
+    if args.hw_seeds < 1:
+        raise _usage_error(
+            f"--hw-seeds must be >= 1 (got {args.hw_seeds})"
+        )
+    registry = None
+    if args.metrics_json:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    monitor = _make_monitor(
+        args, f"diff --programs {args.programs} --start-seed {args.start_seed}"
+    )
+    engine = VerificationEngine(
+        jobs=args.jobs, metrics=registry, cache_dir=args.cache_dir,
+        monitor=monitor,
+    )
+    try:
+        report = engine.diff_campaign(
+            range(args.start_seed, args.start_seed + args.programs),
+            hardware_seeds=range(args.hw_seeds),
+            minimize=not args.no_minimize,
+        )
+    except BaseException as exc:
+        if monitor is not None:
+            monitor.fail(f"{type(exc).__name__}: {exc}")
+        raise
+    if monitor is not None:
+        monitor.finish(
+            ok=report.ok,
+            result={
+                "programs_run": report.programs_run,
+                "comparisons": report.comparisons,
+                "hardware_runs": report.hardware_runs,
+                "disagreements": len(report.disagreements),
+            },
+        )
+    stats = engine.drf0_cache.stats
+    print(
+        f"diff: {report.programs_run} programs, "
+        f"{report.comparisons} comparisons, "
+        f"{report.hardware_runs} hardware runs, "
+        f"{len(report.disagreements)} disagreements "
+        f"(DRF0 memo: {stats.hits} hits / {stats.misses} misses)"
+    )
+    for disagreement in report.disagreements[:10]:
+        print(f"  seed {disagreement.seed} [{disagreement.kind}]: "
+              f"{disagreement.detail}")
+        if disagreement.minimized is not None:
+            for line in render_program(disagreement.minimized).splitlines():
+                print(f"    {line}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report_as_dict(report), fh, indent=2, sort_keys=True)
+        print(f"report written to {args.report}")
     if engine.store is not None:
         engine.store.close()
     if registry is not None:

@@ -13,12 +13,14 @@ membership oracle with no DRF0 precondition.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.machine.dsl import ThreadBuilder, build_program
-from repro.machine.program import Program
+from repro.machine.isa import Store, SyncStore, TestAndSet
+from repro.machine.program import Program, ThreadCode
 
 DATA_LOCATIONS = ("x", "y", "z")
 SYNC_LOCATIONS = ("s", "t")
@@ -80,3 +82,106 @@ def random_programs(
 ) -> List[Program]:
     """One program per seed."""
     return [random_program(seed, config) for seed in seeds]
+
+
+def _rebuild(
+    program: Program,
+    threads: Sequence[ThreadCode],
+    name: Optional[str] = None,
+) -> Program:
+    """Reassemble a shrunk program, dropping now-unreferenced locations."""
+    used = {
+        instr.location
+        for code in threads
+        for instr in code.memory_instructions()
+    }
+    memory = {
+        loc: value
+        for loc, value in program.initial_memory.items()
+        if loc in used
+    }
+    return Program.make(
+        list(threads),
+        initial_memory=memory,
+        name=name if name is not None else program.name,
+    )
+
+
+def _shrink_mutations(program: Program) -> List[Program]:
+    """Every one-step simplification of ``program``, smallest-first.
+
+    Three mutation families, all at the DSL level: drop a whole thread,
+    drop a single instruction, and shrink a stored value to its simplest
+    form (0, or 1 for a test-and-set's set value).  Threads with labels
+    keep their instruction count intact -- removing one would shift
+    branch targets -- but fuzz-generated programs are straight-line, so
+    in practice every instruction is fair game.  Untouched threads pass
+    through as :class:`ThreadCode`, labels and all.
+    """
+    threads = list(program.threads)
+    mutations: List[Program] = []
+    if len(threads) > 1:
+        for i in range(len(threads)):
+            mutations.append(
+                _rebuild(program, threads[:i] + threads[i + 1 :])
+            )
+    for i, code in enumerate(threads):
+        if code.labels:
+            continue
+        instrs = code.instructions
+        for j in range(len(instrs)):
+            shrunk = ThreadCode(instrs[:j] + instrs[j + 1 :], {})
+            mutations.append(
+                _rebuild(program, threads[:i] + [shrunk] + threads[i + 1 :])
+            )
+    for i, code in enumerate(threads):
+        instrs = code.instructions
+        for j, instr in enumerate(instrs):
+            replaced = None
+            if isinstance(instr, (Store, SyncStore)):
+                if isinstance(instr.src, int) and instr.src != 0:
+                    replaced = dataclasses.replace(instr, src=0)
+            elif isinstance(instr, TestAndSet) and instr.set_value != 1:
+                replaced = dataclasses.replace(instr, set_value=1)
+            if replaced is not None:
+                patched = dataclasses.replace(
+                    code,
+                    instructions=instrs[:j] + (replaced,) + instrs[j + 1 :],
+                )
+                mutations.append(
+                    _rebuild(
+                        program, threads[:i] + [patched] + threads[i + 1 :]
+                    )
+                )
+    return mutations
+
+
+def shrink_program(
+    program: Program,
+    predicate: Callable[[Program], bool],
+    name: Optional[str] = None,
+) -> Program:
+    """Greedily minimize ``program`` while ``predicate`` stays true.
+
+    The differential campaign uses this to turn a disagreeing fuzz
+    program into a litmus-sized reproducer: each round tries every
+    one-step simplification (drop a thread, drop an instruction, shrink
+    a stored value) and keeps the first that still exhibits the
+    disagreement, until none does (a fixpoint -- every single-step
+    simplification loses the behaviour).  The predicate is assumed true
+    of ``program`` itself; if it is not, the input is returned unchanged.
+    """
+    if not predicate(program):
+        return program
+    current = program
+    progress = True
+    while progress:
+        progress = False
+        for mutation in _shrink_mutations(current):
+            if predicate(mutation):
+                current = mutation
+                progress = True
+                break
+    if name is not None and current.name != name:
+        current = dataclasses.replace(current, name=name)
+    return current

@@ -1,0 +1,330 @@
+"""Differential campaign: axiomatic solver vs enumerator vs operational
+explorers vs the hardware simulator, over the generated-program corpus.
+
+The solver (:mod:`repro.axiomatic.solver`) is trusted because it is
+*checked*, continuously, against every independent implementation of the
+same semantics this library has:
+
+1. **Backend agreement** -- for each model (SC, COHERENCE, TSO, WO-DRF0)
+   the solver's ``allowed_results`` must be bit-identical to the legacy
+   generate-then-filter enumerator's.
+2. **Operational agreement** -- the axiomatic SC set must equal the
+   operational explorer's :func:`repro.core.sc.sc_results`.
+3. **Contract shape** -- WO-DRF0 must collapse to the SC set on DRF0
+   programs and contain the SC set (the coherence floor is weaker) on
+   racy ones: the paper's Definition 2 read axiomatically.
+4. **Simulator containment** -- every result the hardware simulator
+   produces must fall inside the right axiomatic set: SC-policy runs
+   inside the SC set, Adve--Hill (the paper's weakly ordered
+   implementation) runs inside the WO-DRF0 set.
+
+Any disagreement is auto-minimized at the DSL level
+(:func:`repro.machine.generator.shrink_program`) into a litmus-sized
+reproducer and attached to the report.  The per-seed body is factored
+out (like :mod:`repro.verify.fuzz`) so the serial loop and the parallel
+engine run literally the same code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.axiomatic import (
+    CoherenceModel,
+    SCModel,
+    TSOModel,
+    UnsupportedProgram,
+    WeakOrderingDRF,
+    allowed_results,
+)
+from repro.core.sc import sc_results
+from repro.hw import AdveHillPolicy, SCPolicy
+from repro.machine.generator import (
+    GeneratorConfig,
+    random_program,
+    shrink_program,
+)
+from repro.machine.program import Program
+from repro.sim.system import SystemConfig, run_on_hardware
+
+#: The comparison kinds a seed can disagree on.
+KINDS = ("backend", "sc-explorer", "wo-contract", "simulator")
+
+#: Hardware substrates the simulator comparison runs on: the directory
+#: default and the snoop/bus alternative (one of each protocol family).
+_DIFF_CONFIGS = (
+    SystemConfig(),
+    SystemConfig(coherence="snoop", topology="bus"),
+)
+
+
+def _default_drf0_judge(program: Program) -> bool:
+    from repro.core.drf0 import check_program
+
+    return check_program(program).obeys
+
+
+def compare_program(
+    program: Program,
+    hardware_seeds: Sequence[int] = range(2),
+    drf0_judge: Optional[Callable[[Program], bool]] = None,
+    counters: Optional[Dict[str, int]] = None,
+) -> List[Tuple[str, str]]:
+    """Run every differential comparison; return (kind, detail) failures.
+
+    ``drf0_judge`` supplies the operational DRF0 verdict (the engine
+    substitutes a memoizing wrapper); ``counters`` accumulates
+    ``comparisons`` / ``hardware_runs`` when given.
+    """
+    drf0_judge = drf0_judge or _default_drf0_judge
+    failures: List[Tuple[str, str]] = []
+
+    def count(key: str, n: int = 1) -> None:
+        if counters is not None:
+            counters[key] = counters.get(key, 0) + n
+
+    drf0 = drf0_judge(program)
+    wo_model = WeakOrderingDRF()
+    wo_model.prime_verdict(program, drf0)
+    models = [SCModel(), CoherenceModel(), TSOModel(), wo_model]
+
+    sets: Dict[str, frozenset] = {}
+    for model in models:
+        solver_set = allowed_results(program, model, backend="solver")
+        oracle_set = allowed_results(program, model, backend="enumerator")
+        count("comparisons")
+        sets[model.name] = solver_set
+        if solver_set != oracle_set:
+            extra = len(solver_set - oracle_set)
+            missing = len(oracle_set - solver_set)
+            failures.append(
+                (
+                    "backend",
+                    f"{model.name}: solver has {extra} extra / "
+                    f"{missing} missing results vs enumerator",
+                )
+            )
+
+    sc_set = sets[SCModel.name]
+    operational = sc_results(program)
+    count("comparisons")
+    if sc_set != operational:
+        failures.append(
+            (
+                "sc-explorer",
+                f"axiomatic SC ({len(sc_set)} results) != operational "
+                f"explorer ({len(operational)} results)",
+            )
+        )
+
+    wo_set = sets[WeakOrderingDRF.name]
+    count("comparisons")
+    if drf0 and wo_set != sc_set:
+        failures.append(
+            ("wo-contract", "DRF0 program but WO-DRF0 set != SC set")
+        )
+    elif not drf0 and not sc_set <= wo_set:
+        failures.append(
+            (
+                "wo-contract",
+                "racy program but coherence floor misses "
+                f"{len(sc_set - wo_set)} SC results",
+            )
+        )
+
+    for config in _DIFF_CONFIGS:
+        for hw_seed in hardware_seeds:
+            cfg = config.with_seed(hw_seed)
+            for policy_factory, bound, bound_name in (
+                (SCPolicy, sc_set, "SC"),
+                (AdveHillPolicy, wo_set, "WO-DRF0"),
+            ):
+                run = run_on_hardware(program, policy_factory(), cfg)
+                count("hardware_runs")
+                count("comparisons")
+                if run.result not in bound:
+                    failures.append(
+                        (
+                            "simulator",
+                            f"{policy_factory().name} on "
+                            f"{config.coherence}/{config.topology} seed "
+                            f"{hw_seed} produced a result outside the "
+                            f"axiomatic {bound_name} set",
+                        )
+                    )
+    return failures
+
+
+@dataclass
+class Disagreement:
+    """One differential failure, with its minimized reproducer."""
+
+    seed: int
+    kind: str
+    detail: str
+    program_name: str
+    minimized: Optional[Program] = None
+    litmus_name: Optional[str] = None
+
+
+@dataclass
+class DiffSeedOutcome:
+    """One seed's contribution to a :class:`DiffReport`."""
+
+    seed: int
+    programs_run: int = 0
+    comparisons: int = 0
+    hardware_runs: int = 0
+    skipped: int = 0
+    disagreements: List[Disagreement] = field(default_factory=list)
+
+
+@dataclass
+class DiffReport:
+    """Aggregate outcome of one differential campaign."""
+
+    programs_run: int = 0
+    comparisons: int = 0
+    hardware_runs: int = 0
+    skipped: int = 0
+    disagreements: List[Disagreement] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every comparison agreed."""
+        return not self.disagreements
+
+
+def diff_one_seed(
+    seed: int,
+    generator: Optional[GeneratorConfig] = None,
+    hardware_seeds: Sequence[int] = range(2),
+    drf0_judge: Optional[Callable[[Program], bool]] = None,
+) -> DiffSeedOutcome:
+    """Run every differential comparison on the program ``seed`` names."""
+    outcome = DiffSeedOutcome(seed=seed)
+    program = random_program(seed, generator)
+    counters: Dict[str, int] = {}
+    try:
+        failures = compare_program(
+            program, hardware_seeds, drf0_judge, counters
+        )
+    except UnsupportedProgram:
+        outcome.skipped += 1
+        return outcome
+    outcome.programs_run += 1
+    outcome.comparisons = counters.get("comparisons", 0)
+    outcome.hardware_runs = counters.get("hardware_runs", 0)
+    for kind, detail in failures:
+        outcome.disagreements.append(
+            Disagreement(
+                seed=seed,
+                kind=kind,
+                detail=detail,
+                program_name=program.name,
+            )
+        )
+    return outcome
+
+
+def minimize_disagreement(
+    disagreement: Disagreement,
+    generator: Optional[GeneratorConfig] = None,
+    hardware_seeds: Sequence[int] = range(2),
+) -> Disagreement:
+    """Shrink the disagreeing program into a named litmus reproducer.
+
+    The predicate is "the same *kind* of comparison still fails": each
+    shrink candidate reruns the full differential body, so the minimized
+    program provably still exhibits a ``kind`` disagreement.
+    """
+    program = random_program(disagreement.seed, generator)
+    litmus_name = f"diff-{disagreement.seed}-{disagreement.kind}"
+
+    def still_fails(candidate: Program) -> bool:
+        try:
+            kinds = {
+                kind
+                for kind, _ in compare_program(candidate, hardware_seeds)
+            }
+        except UnsupportedProgram:
+            return False
+        return disagreement.kind in kinds
+
+    disagreement.minimized = shrink_program(
+        program, still_fails, name=litmus_name
+    )
+    disagreement.litmus_name = litmus_name
+    return disagreement
+
+
+def merge_diff_outcomes(outcomes: Sequence[DiffSeedOutcome]) -> DiffReport:
+    """Fold per-seed outcomes (in the order given) into one report."""
+    report = DiffReport()
+    for outcome in outcomes:
+        report.programs_run += outcome.programs_run
+        report.comparisons += outcome.comparisons
+        report.hardware_runs += outcome.hardware_runs
+        report.skipped += outcome.skipped
+        report.disagreements.extend(outcome.disagreements)
+    return report
+
+
+def diff_campaign(
+    seeds: Sequence[int],
+    generator: Optional[GeneratorConfig] = None,
+    hardware_seeds: Sequence[int] = range(2),
+    minimize: bool = True,
+) -> DiffReport:
+    """Serial differential campaign over one random program per seed."""
+    report = merge_diff_outcomes(
+        [
+            diff_one_seed(seed, generator, hardware_seeds)
+            for seed in seeds
+        ]
+    )
+    if minimize:
+        for disagreement in report.disagreements:
+            minimize_disagreement(disagreement, generator, hardware_seeds)
+    return report
+
+
+def render_program(program: Program) -> str:
+    """A compact textual litmus rendering of a (shrunk) program."""
+    lines = [f"{program.name}:"]
+    memory = ", ".join(
+        f"{loc}={value}"
+        for loc, value in sorted(program.initial_memory.items())
+    )
+    lines.append(f"  init: {{{memory}}}")
+    for proc, code in enumerate(program.threads):
+        body = "; ".join(repr(instr) for instr in code.instructions)
+        lines.append(f"  P{proc}: {body}")
+    return "\n".join(lines)
+
+
+def report_as_dict(report: DiffReport) -> Dict[str, object]:
+    """JSON-ready summary of a campaign (for ``repro diff --report``)."""
+    return {
+        "programs_run": report.programs_run,
+        "comparisons": report.comparisons,
+        "hardware_runs": report.hardware_runs,
+        "skipped": report.skipped,
+        "ok": report.ok,
+        "disagreements": [
+            {
+                "seed": d.seed,
+                "kind": d.kind,
+                "detail": d.detail,
+                "program": d.program_name,
+                "litmus_name": d.litmus_name,
+                "minimized": (
+                    render_program(d.minimized)
+                    if d.minimized is not None
+                    else None
+                ),
+            }
+            for d in report.disagreements
+        ],
+    }

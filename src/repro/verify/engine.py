@@ -115,6 +115,13 @@ from repro.verify.cache import (
     program_fingerprint,
 )
 from repro.verify.conditions import check_conditions
+from repro.verify.diff import (
+    DiffReport,
+    DiffSeedOutcome,
+    diff_one_seed,
+    merge_diff_outcomes,
+    minimize_disagreement,
+)
 from repro.verify.fuzz import FuzzReport, SeedOutcome, fuzz_one_seed, merge_outcomes
 from repro.verify.journal import (
     CheckpointJournal,
@@ -238,6 +245,7 @@ class _TaskContext:
     generator: Optional[GeneratorConfig] = None
     fuzz_hardware_seeds: Tuple[int, ...] = ()
     check_cross_enumerators: bool = True
+    diff_hardware_seeds: Tuple[int, ...] = ()
     failpoints: Tuple[Failpoint, ...] = ()
 
 
@@ -248,6 +256,10 @@ _TASK_CONTEXT: Optional[_TaskContext] = None
 #: Worker-process-local memo for fuzz SC judgments (workers cannot share
 #: the parent cache object; each at least never re-judges its own repeats).
 _WORKER_SC_MEMO: Dict[Tuple[str, Result], bool] = {}
+
+#: Worker-process-local memo for exhaustive DRF0 program verdicts, used by
+#: the differential campaign (same fork-warmed lifecycle as the SC memo).
+_WORKER_DRF0_MEMO: Dict[str, bool] = {}
 
 
 def _run_one(cell: _SweepCell, seed: int) -> RunSummary:
@@ -329,6 +341,40 @@ def _fuzz_task(seed: int, ctx: "_TaskContext"):
     return outcome, new_verdicts, (hits, misses)
 
 
+def _diff_task(seed: int, ctx: "_TaskContext"):
+    """One differential-campaign seed with a memoized DRF0 judge.
+
+    Returns ``(outcome, new_drf0_verdicts, (hits, misses))`` where each
+    new verdict is ``(fingerprint, verdict, program)``.  The memo is the
+    fork-warmed worker-local ``_WORKER_DRF0_MEMO``; fresh verdicts ride
+    back so the parent merges them into the shared cache and the
+    persistent store.
+    """
+    new_verdicts: List[Tuple[str, bool, Program]] = []
+    hits = misses = 0
+
+    def drf0_judge(program: Program) -> bool:
+        nonlocal hits, misses
+        fingerprint = program_fingerprint(program)
+        verdict = _WORKER_DRF0_MEMO.get(fingerprint)
+        if verdict is None:
+            misses += 1
+            verdict = check_program(program).obeys
+            _WORKER_DRF0_MEMO[fingerprint] = verdict
+            new_verdicts.append((fingerprint, verdict, program))
+        else:
+            hits += 1
+        return verdict
+
+    outcome = diff_one_seed(
+        seed,
+        ctx.generator,
+        ctx.diff_hardware_seeds,
+        drf0_judge=drf0_judge,
+    )
+    return outcome, new_verdicts, (hits, misses)
+
+
 def _worker_init() -> None:
     """Pool-worker initializer: the parent owns Ctrl-C.
 
@@ -350,6 +396,8 @@ def _task_label(task: tuple) -> str:
         return f"drf0:prog{task[1]}"
     if kind == "fuzz":
         return f"fuzz:seed{task[1]}"
+    if kind == "diff":
+        return f"diff:seed{task[1]}"
     return str(kind)
 
 
@@ -420,6 +468,16 @@ def _execute_task(task: tuple, tag: Optional[tuple] = None):
                 "sc_hits": hits,
                 "sc_misses": misses,
                 "states": sum(new.states for new in new_verdicts),
+            }
+        elif kind == "diff":
+            _, seed = task
+            value = _diff_task(seed, ctx)
+            diff_outcome, _new_drf0, (hits, misses) = value
+            deltas = {
+                "diff_seeds": 1,
+                "drf0_hits": hits,
+                "drf0_misses": misses,
+                "runs": diff_outcome.hardware_runs,
             }
         else:
             raise ValueError(f"unknown task kind {kind!r}")
@@ -869,6 +927,8 @@ class VerificationEngine:
             elif kind == "judge":
                 monitor.extra_done("judge")
             elif kind == "fuzz":
+                monitor.unit_done(0, 1)
+            elif kind == "diff":
                 monitor.unit_done(0, 1)
         monitor.poll()
 
@@ -1688,6 +1748,65 @@ class VerificationEngine:
             )
         outcomes: List[SeedOutcome] = [value[0] for value in values]
         return merge_outcomes(outcomes)
+
+    def diff_campaign(
+        self,
+        seeds: Sequence[int],
+        generator: Optional[GeneratorConfig] = None,
+        hardware_seeds: Sequence[int] = range(2),
+        minimize: bool = True,
+    ) -> DiffReport:
+        """Parallel :func:`repro.verify.diff.diff_campaign` (one task per
+        seed): the axiomatic solver differentially checked against the
+        legacy enumerator, the operational explorers, and the hardware
+        simulator over the generated-program corpus.
+
+        The expensive shared sub-question -- each program's operational
+        DRF0 verdict -- is memoized exactly like fuzz's SC judgments: the
+        worker-local memo is warmed from the engine's cache (and hence
+        the persistent store) before the fork, new verdicts ride back
+        with each outcome and are flushed to the store as they land.
+        Disagreements are auto-minimized in the parent (serial,
+        deterministic) after the fold.
+        """
+        seeds = list(seeds)
+        context = _TaskContext(
+            generator=generator,
+            diff_hardware_seeds=tuple(hardware_seeds),
+        )
+        if self.monitor is not None and self.monitor.claim_plan():
+            self._owns_plan = True
+            self.monitor.plan([("diff", len(seeds), 0.0)])
+        _WORKER_DRF0_MEMO.clear()
+        for fingerprint, mode, verdict in self.drf0_cache.entries():
+            if mode == "exhaustive":
+                _WORKER_DRF0_MEMO[fingerprint] = verdict
+
+        def on_result(index: int, task: tuple, value) -> None:
+            _outcome, new_verdicts, (hits, misses) = value
+            self.drf0_cache.stats.add(hits=hits, misses=misses)
+            for fingerprint, verdict, program in new_verdicts:
+                _WORKER_DRF0_MEMO.setdefault(fingerprint, verdict)
+                self.drf0_cache.store_by_key(
+                    fingerprint, "exhaustive", verdict
+                )
+                if self.store is not None:
+                    self.store.record_drf0(
+                        fingerprint, "exhaustive", verdict, program=program
+                    )
+
+        with self._session(context) as session:
+            values = session.map(
+                [("diff", seed) for seed in seeds], on_result=on_result
+            )
+        outcomes: List[DiffSeedOutcome] = [value[0] for value in values]
+        report = merge_diff_outcomes(outcomes)
+        if minimize:
+            for disagreement in report.disagreements:
+                minimize_disagreement(
+                    disagreement, generator, hardware_seeds
+                )
+        return report
 
     # ------------------------------------------------------------------
     # Observability

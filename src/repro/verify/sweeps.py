@@ -142,6 +142,38 @@ def evidence_row(
     }
 
 
+def axiomatic_cross_check(
+    program: Program, results: Iterable[Result]
+) -> List[str]:
+    """Re-judge observed results against the axiomatic SC set.
+
+    For every result a sweep observed, the operational membership oracle
+    (:func:`is_sc_result`, a guided state-space search) and the axiomatic
+    solver's pinned target-mode query
+    (:func:`repro.axiomatic.result_allowed`) must agree -- they are
+    independent implementations of the same question.  Returns one
+    message per disagreement; programs outside the axiomatic fragment
+    (branches, arithmetic on read values) are skipped.
+    """
+    from repro.axiomatic import SCModel, UnsupportedProgram, result_allowed
+
+    problems: List[str] = []
+    model = SCModel()
+    for result in results:
+        operational = is_sc_result(program, result)
+        try:
+            axiomatic = result_allowed(program, model, result)
+        except UnsupportedProgram:
+            return []
+        if operational != axiomatic:
+            problems.append(
+                f"{program.name}: operational SC oracle says "
+                f"{operational}, axiomatic solver says {axiomatic} "
+                f"for {result}"
+            )
+    return problems
+
+
 def definition2_sweep(
     programs: Iterable[Program],
     policy_factories: Dict[str, Callable[[], object]],

@@ -103,3 +103,38 @@ class TestDelaysCommand:
     def test_branchy_program_rejected(self):
         with pytest.raises(SystemExit):
             main(["delays", "MP+sync"])
+
+
+class TestDiffCommand:
+    def test_clean_campaign_exits_zero(self, capsys):
+        code = main(["diff", "--programs", "4", "--hw-seeds", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 programs" in out and "0 disagreements" in out
+
+    def test_report_file(self, tmp_path, capsys):
+        report = tmp_path / "diff.json"
+        code = main(
+            ["diff", "--programs", "3", "--report", str(report)]
+        )
+        assert code == 0
+        import json
+
+        data = json.loads(report.read_text())
+        assert data["ok"] is True and data["programs_run"] == 3
+
+    def test_parallel_matches_serial(self, capsys):
+        assert main(["diff", "--programs", "4", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out.splitlines()[0]
+        assert main(["diff", "--programs", "4", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out.splitlines()[0]
+        # Same counts either way; only the memo-hit tallies may differ.
+        assert parallel.split("(")[0] == serial.split("(")[0]
+
+    def test_usage_errors_exit_2(self):
+        with pytest.raises(SystemExit) as err:
+            main(["diff", "--jobs", "-1"])
+        assert err.value.code == 2
+        with pytest.raises(SystemExit) as err:
+            main(["diff", "--hw-seeds", "0"])
+        assert err.value.code == 2

@@ -1,0 +1,346 @@
+"""Property tests for the incremental axiomatic solver.
+
+The solver (:mod:`repro.axiomatic.solver`) must be *bit-identical* to the
+legacy generate-then-filter enumerator on every query: same result sets,
+same well-formed candidate counts, same budget behaviour.  These tests
+pin that equivalence on the litmus catalog and on a generated corpus of
+200+ random programs, then cover the solver-only surfaces (pinned target
+mode, backend routing, budgets) and the differential-campaign plumbing
+built on top of it (shrinking, minimization, cross-checks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.axiomatic import (
+    CoherenceModel,
+    LEGACY_BACKEND_ENV,
+    SCModel,
+    SearchBudgetExceeded,
+    SolverConfig,
+    TSOModel,
+    UnsupportedProgram,
+    WeakOrderingDRF,
+    allowed_results,
+    default_backend,
+    enumerate_candidates,
+    result_allowed,
+    solve_candidates,
+    well_formed_candidates,
+)
+from repro.axiomatic.checker import outcome_table
+from repro.core.sc import sc_results
+from repro.litmus.catalog import all_tests, store_buffer, tas_mutex
+from repro.machine.dsl import ThreadBuilder, build_program
+from repro.machine.generator import random_program, shrink_program
+from repro.machine.isa import Store
+from repro.verify.diff import (
+    Disagreement,
+    compare_program,
+    diff_campaign,
+    diff_one_seed,
+    merge_diff_outcomes,
+    minimize_disagreement,
+    render_program,
+    report_as_dict,
+)
+from repro.verify.sweeps import axiomatic_cross_check
+
+
+def _models():
+    return [SCModel(), CoherenceModel(), TSOModel(), WeakOrderingDRF()]
+
+
+def _assert_backends_agree(program):
+    for model in _models():
+        solver = allowed_results(program, model, backend="solver")
+        oracle = allowed_results(program, model, backend="enumerator")
+        assert solver == oracle, (
+            f"{program.name} under {model.name}: solver and enumerator "
+            f"disagree ({len(solver)} vs {len(oracle)} results)"
+        )
+
+
+class TestBackendBitIdentity:
+    def test_litmus_catalog(self):
+        """Every supported catalog test, every model, both backends."""
+        supported = 0
+        for test in all_tests():
+            try:
+                _assert_backends_agree(test.program)
+            except UnsupportedProgram:
+                continue
+            supported += 1
+        # The catalog's straight-line tests, including the fenced and
+        # RMW ones, must all go through both backends.
+        assert supported >= 16
+
+    @pytest.mark.parametrize("chunk", range(8))
+    def test_generated_corpus(self, chunk):
+        """200+ random programs, every model, both backends."""
+        for seed in range(chunk * 25, chunk * 25 + 25):
+            _assert_backends_agree(random_program(seed))
+
+    def test_rmw_program(self):
+        """Competing test-and-sets exercise the RMW unit propagation."""
+        t0 = ThreadBuilder().test_and_set("r0", "s", set_value=1)
+        t1 = ThreadBuilder().test_and_set("r1", "s", set_value=2).unset("s")
+        _assert_backends_agree(build_program([t0, t1], name="tas-race"))
+
+    def test_fence_program(self):
+        """Fences reach both backends through the shared event layout."""
+        t0 = ThreadBuilder().store("x", 1).fence().load("r0", "y")
+        t1 = ThreadBuilder().store("y", 1).fence().load("r1", "x")
+        program = build_program([t0, t1], name="sb-fenced")
+        _assert_backends_agree(program)
+        # The fence forbids the store-buffer relaxation under TSO: the
+        # r0=0, r1=0 outcome must be gone from the TSO set too.
+        assert allowed_results(program, TSOModel()) == allowed_results(
+            program, SCModel()
+        )
+
+    def test_solver_matches_operational_sc(self):
+        for seed in range(20):
+            program = random_program(seed)
+            assert allowed_results(program, SCModel()) == sc_results(program)
+
+
+class TestWellFormedCandidates:
+    def test_counts_match_enumerator(self):
+        for seed in range(10):
+            program = random_program(seed)
+            solver_n = sum(1 for _ in well_formed_candidates(program))
+            enum_n = sum(1 for _ in enumerate_candidates(program))
+            assert solver_n == enum_n
+
+    def test_solve_candidates_without_model(self):
+        program = store_buffer().program
+        results = {c.result() for c in solve_candidates(program)}
+        assert results == {
+            c.result() for c in enumerate_candidates(program)
+        }
+
+
+class TestBudgets:
+    @pytest.mark.parametrize("backend", ["solver", "enumerator"])
+    def test_candidate_cap(self, backend):
+        program = store_buffer().program
+        config = SolverConfig(max_candidates=1)
+        with pytest.raises(SearchBudgetExceeded):
+            allowed_results(program, SCModel(), backend, config)
+
+    @pytest.mark.parametrize("backend", ["solver", "enumerator"])
+    def test_deadline(self, backend):
+        program = store_buffer().program
+        config = SolverConfig(max_seconds=0.0)
+        with pytest.raises(SearchBudgetExceeded):
+            allowed_results(program, SCModel(), backend, config)
+
+    @pytest.mark.parametrize("backend", ["solver", "enumerator"])
+    def test_generous_budget_is_invisible(self, backend):
+        program = store_buffer().program
+        config = SolverConfig(max_candidates=10_000, max_seconds=60.0)
+        assert allowed_results(
+            program, SCModel(), backend, config
+        ) == allowed_results(program, SCModel())
+
+
+class TestTargetMode:
+    def test_pinned_query_matches_membership(self):
+        """result_allowed == (result in allowed_results), per model."""
+        for seed in range(8):
+            program = random_program(seed)
+            universe = {
+                c.result() for c in well_formed_candidates(program)
+            }
+            for model in _models():
+                admitted = allowed_results(program, model)
+                for result in universe:
+                    assert result_allowed(program, model, result) == (
+                        result in admitted
+                    )
+
+    def test_foreign_result_rejected(self):
+        program = store_buffer().program
+        some = next(iter(allowed_results(program, SCModel())))
+        other = build_program(
+            [ThreadBuilder().load("r0", "x")], name="other"
+        )
+        # A result whose read shape does not match the program is simply
+        # not allowed, never an error.
+        foreign = next(
+            iter(allowed_results(other, SCModel()))
+        )
+        assert result_allowed(program, SCModel(), foreign) is False
+        assert result_allowed(program, SCModel(), some) is True
+
+
+class TestBackendRouting:
+    def test_default_is_solver(self, monkeypatch):
+        monkeypatch.delenv(LEGACY_BACKEND_ENV, raising=False)
+        assert default_backend() == "solver"
+
+    @pytest.mark.parametrize("flag", ["1", "true", "YES", " on "])
+    def test_env_opt_out(self, monkeypatch, flag):
+        monkeypatch.setenv(LEGACY_BACKEND_ENV, flag)
+        assert default_backend() == "enumerator"
+
+    @pytest.mark.parametrize("flag", ["", "0", "no", "off"])
+    def test_env_noise_ignored(self, monkeypatch, flag):
+        monkeypatch.setenv(LEGACY_BACKEND_ENV, flag)
+        assert default_backend() == "solver"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            allowed_results(
+                store_buffer().program, SCModel(), backend="z3"
+            )
+
+
+class TestOutcomeTable:
+    def test_rows_match_allowed_results(self):
+        programs = [store_buffer().program, tas_mutex().program]
+        models = _models()
+        rows = outcome_table(programs, models)
+        assert [
+            (r["program"], r["model"]) for r in rows
+        ] == [(p.name, m.name) for p in programs for m in models]
+        for row in rows:
+            program = next(
+                p for p in programs if p.name == row["program"]
+            )
+            model = next(m for m in models if m.name == row["model"])
+            assert row["num_results"] == len(
+                allowed_results(program, model)
+            )
+
+
+class TestShrinker:
+    def test_shrinks_to_fixpoint(self):
+        t0 = ThreadBuilder().store("x", 3).store("y", 2).load("r0", "x")
+        t1 = ThreadBuilder().store("x", 1).load("r1", "y")
+        program = build_program([t0, t1], name="big")
+
+        def has_store_to_x(p):
+            return any(
+                isinstance(i, Store) and i.location == "x"
+                for code in p.threads
+                for i in code.instructions
+            )
+
+        small = shrink_program(program, has_store_to_x, name="tiny")
+        assert small.name == "tiny"
+        assert has_store_to_x(small)
+        # Fixpoint: one thread, one instruction, value shrunk to 0.
+        assert len(small.threads) == 1
+        (instr,) = small.threads[0].instructions
+        assert isinstance(instr, Store) and instr.src == 0
+
+    def test_false_predicate_returns_input(self):
+        program = store_buffer().program
+        assert shrink_program(program, lambda p: False) is program
+
+    def test_labeled_threads_keep_instructions(self):
+        from repro.core.types import Condition
+
+        t0 = (
+            ThreadBuilder()
+            .label("spin")
+            .load("r0", "x")
+            .branch_if(Condition.EQ, "r0", 0, "spin")
+        )
+        t1 = ThreadBuilder().store("x", 1).store("y", 1)
+        program = build_program([t0, t1], name="labeled")
+        shrunk = shrink_program(
+            program, lambda p: len(p.threads) == 2
+        )
+        # Thread 0 has labels, so its body must survive intact.
+        assert shrunk.threads[0] == program.threads[0]
+
+
+class TestDifferentialCampaign:
+    def test_clean_corpus_has_no_disagreements(self):
+        report = diff_campaign(range(12))
+        assert report.ok
+        assert report.programs_run == 12
+        assert report.comparisons > 0
+        assert report.hardware_runs > 0
+        assert report_as_dict(report)["ok"] is True
+
+    def test_compare_program_counts(self):
+        counters = {}
+        failures = compare_program(
+            store_buffer().program, range(2), counters=counters
+        )
+        assert failures == []
+        # 4 backend + 1 sc-explorer + 1 wo-contract + per-run simulator.
+        assert counters["hardware_runs"] == 8
+        assert counters["comparisons"] == 6 + 8
+
+    def test_merge_preserves_order(self):
+        outcomes = [diff_one_seed(seed) for seed in (3, 1, 2)]
+        report = merge_diff_outcomes(outcomes)
+        assert report.programs_run + report.skipped == 3
+
+    def test_minimize_disagreement(self, monkeypatch):
+        """Minimization shrinks a (synthetic) disagreement to its core."""
+
+        def fake_compare(program, hardware_seeds=range(2), *a, **k):
+            stores = any(
+                isinstance(i, Store) and i.location == "x"
+                for code in program.threads
+                for i in code.instructions
+            )
+            return [("backend", "synthetic")] if stores else []
+
+        import repro.verify.diff as diff_mod
+
+        seed = next(
+            s
+            for s in range(100)
+            if fake_compare(random_program(s))
+        )
+        monkeypatch.setattr(diff_mod, "compare_program", fake_compare)
+        disagreement = Disagreement(
+            seed=seed,
+            kind="backend",
+            detail="synthetic",
+            program_name=f"fuzz-{seed}",
+        )
+        minimized = minimize_disagreement(disagreement)
+        assert minimized.litmus_name == f"diff-{seed}-backend"
+        program = minimized.minimized
+        assert program is not None
+        assert program.name == minimized.litmus_name
+        # Shrunk to the single instruction the predicate needs.
+        assert sum(
+            len(code.instructions) for code in program.threads
+        ) == 1
+        assert "Store" in render_program(program)
+
+    def test_render_program(self):
+        text = render_program(store_buffer().program)
+        assert text.startswith("SB:")
+        assert "init:" in text and "P0:" in text and "P1:" in text
+
+
+class TestSweepCrossCheck:
+    def test_agreement_on_sc_results(self):
+        program = store_buffer().program
+        assert axiomatic_cross_check(program, sc_results(program)) == []
+
+    def test_unsupported_program_skipped(self):
+        from repro.core.types import Condition
+
+        t0 = (
+            ThreadBuilder()
+            .label("l")
+            .load("r", "x")
+            .branch_if(Condition.EQ, "r", 0, "l")
+        )
+        program = build_program([t0], name="branchy")
+        from repro.core.execution import Result
+
+        result = Result(reads=((0,),), final_memory=(("x", 0),))
+        assert axiomatic_cross_check(program, [result]) == []
